@@ -1,0 +1,35 @@
+"""Ablation: DRAM traffic saved by the GS logging table's hot/cold split.
+
+Quantifies the design choice called out in DESIGN.md: keeping frequently
+updated ("hot") Gaussian counters on chip during key-frame contribution
+recording versus naively read-modify-writing every counter in DRAM.
+"""
+
+import numpy as np
+
+from conftest import attach
+
+from repro.hardware import AGS_EDGE
+from repro.hardware.logging_table import GsLoggingTable
+
+
+def _traffic(per_tile):
+    table = GsLoggingTable(AGS_EDGE)
+    traffic = table.record_traffic(per_tile)
+    return {
+        "dram_bytes": traffic.dram_bytes,
+        "dram_bytes_naive": traffic.dram_bytes_naive,
+        "saving": traffic.traffic_saving,
+    }
+
+
+def test_ablation_logging_table(benchmark):
+    """Hot/cold split vs naive per-tile DRAM updates."""
+    per_tile = np.full(4800, 400)  # a VGA frame's tiles with dense tables
+
+    def run():
+        return _traffic(per_tile)
+
+    data = benchmark.pedantic(run, rounds=3, iterations=1)
+    attach(benchmark, data)
+    assert data["dram_bytes"] < data["dram_bytes_naive"]

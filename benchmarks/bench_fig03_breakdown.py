@@ -1,0 +1,19 @@
+"""Fig. 3: baseline execution-time breakdown (tracking vs mapping).
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig3_time_breakdown` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig03_breakdown(benchmark, settings):
+    """Fig. 3: baseline execution-time breakdown (tracking vs mapping)."""
+    data = benchmark.pedantic(
+        experiments.fig3_time_breakdown, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

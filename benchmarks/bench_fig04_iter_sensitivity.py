@@ -1,0 +1,19 @@
+"""Fig. 4: tracking accuracy vs reduced iterations (high / low FC frames).
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig4_iteration_sensitivity` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig04_iter_sensitivity(benchmark):
+    """Fig. 4: tracking accuracy vs reduced iterations (high / low FC frames)."""
+    data = benchmark.pedantic(
+        experiments.fig4_iteration_sensitivity, kwargs={'sequence_name': 'desk', 'num_frames': 6, 'iteration_counts': (12, 8, 4, 2)}, rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

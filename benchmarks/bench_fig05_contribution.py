@@ -1,0 +1,19 @@
+"""Fig. 5: non-contributory vs contributory Gaussians during rendering.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig5_contribution_breakdown` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig05_contribution(benchmark, settings):
+    """Fig. 5: non-contributory vs contributory Gaussians during rendering."""
+    data = benchmark.pedantic(
+        experiments.fig5_contribution_breakdown, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

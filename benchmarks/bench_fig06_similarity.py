@@ -1,0 +1,19 @@
+"""Fig. 6: contribution similarity across covisibility levels.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig6_contribution_similarity` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig06_similarity(benchmark):
+    """Fig. 6: contribution similarity across covisibility levels."""
+    data = benchmark.pedantic(
+        experiments.fig6_contribution_similarity, kwargs={'sequence_names': ('desk', 'house'), 'num_frames': 6}, rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

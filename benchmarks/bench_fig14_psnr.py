@@ -1,0 +1,19 @@
+"""Fig. 14: mapping PSNR of the baseline and AGS.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig14_psnr` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig14_psnr(benchmark, settings):
+    """Fig. 14: mapping PSNR of the baseline and AGS."""
+    data = benchmark.pedantic(
+        experiments.fig14_psnr, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

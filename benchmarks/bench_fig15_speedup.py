@@ -1,0 +1,19 @@
+"""Fig. 15: speedups of AGS and GSCore over the GPU baselines.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig15_speedup` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig15_speedup(benchmark, settings):
+    """Fig. 15: speedups of AGS and GSCore over the GPU baselines."""
+    data = benchmark.pedantic(
+        experiments.fig15_speedup, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

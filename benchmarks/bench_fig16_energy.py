@@ -1,0 +1,19 @@
+"""Fig. 16: energy efficiency of AGS over the GPUs.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig16_energy` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig16_energy(benchmark, settings):
+    """Fig. 16: energy efficiency of AGS over the GPUs."""
+    data = benchmark.pedantic(
+        experiments.fig16_energy, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

@@ -1,0 +1,19 @@
+"""Fig. 17: per-task (tracking / mapping) speedups.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig17_task_speedup` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig17_task_speedup(benchmark, settings):
+    """Fig. 17: per-task (tracking / mapping) speedups."""
+    data = benchmark.pedantic(
+        experiments.fig17_task_speedup, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

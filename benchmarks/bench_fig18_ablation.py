@@ -1,0 +1,19 @@
+"""Fig. 18: algorithm / architecture contribution ablation.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig18_ablation` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig18_ablation(benchmark, settings):
+    """Fig. 18: algorithm / architecture contribution ablation."""
+    data = benchmark.pedantic(
+        experiments.fig18_ablation, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

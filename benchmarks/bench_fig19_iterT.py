@@ -1,0 +1,19 @@
+"""Fig. 19: sensitivity to the refinement iteration count IterT.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig19_iter_t_sensitivity` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig19_iterT(benchmark):
+    """Fig. 19: sensitivity to the refinement iteration count IterT."""
+    data = benchmark.pedantic(
+        experiments.fig19_iter_t_sensitivity, kwargs={'sequence_name': 'desk', 'num_frames': 6, 'iter_values': (2, 4, 8)}, rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

@@ -1,0 +1,19 @@
+"""Fig. 20: sensitivity to the key-frame threshold ThreshM.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig20_thresh_m_sensitivity` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig20_threshM(benchmark):
+    """Fig. 20: sensitivity to the key-frame threshold ThreshM."""
+    data = benchmark.pedantic(
+        experiments.fig20_thresh_m_sensitivity, kwargs={'sequence_name': 'desk', 'num_frames': 6, 'thresh_values': (0.4, 0.5, 0.6)}, rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

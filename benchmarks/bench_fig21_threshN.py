@@ -1,0 +1,19 @@
+"""Fig. 21: sensitivity to the Gaussian skip threshold ThreshN.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig21_thresh_n_sensitivity` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig21_threshN(benchmark):
+    """Fig. 21: sensitivity to the Gaussian skip threshold ThreshN."""
+    data = benchmark.pedantic(
+        experiments.fig21_thresh_n_sensitivity, kwargs={'sequence_name': 'desk', 'num_frames': 6, 'thresh_values': (1, 16, 256)}, rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

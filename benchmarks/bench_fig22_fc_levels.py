@@ -1,0 +1,19 @@
+"""Fig. 22: proportion of frames per covisibility level.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig22_covisibility_levels` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig22_fc_levels(benchmark, settings):
+    """Fig. 22: proportion of frames per covisibility level."""
+    data = benchmark.pedantic(
+        experiments.fig22_covisibility_levels, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

@@ -1,0 +1,19 @@
+"""Fig. 23: generality of AGS on the Gaussian-SLAM backbone.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.fig23_gaussian_slam` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_fig23_gaussian_slam(benchmark, settings):
+    """Fig. 23: generality of AGS on the Gaussian-SLAM backbone."""
+    data = benchmark.pedantic(
+        experiments.fig23_gaussian_slam, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

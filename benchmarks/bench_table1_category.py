@@ -1,0 +1,19 @@
+"""Table 1: category comparison (3DGS vs traditional SLAM).
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.table1_category_comparison` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_table1_category(benchmark, settings):
+    """Table 1: category comparison (3DGS vs traditional SLAM)."""
+    data = benchmark.pedantic(
+        experiments.table1_category_comparison, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

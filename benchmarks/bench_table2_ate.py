@@ -1,0 +1,19 @@
+"""Table 2: tracking accuracy (ATE RMSE) of SplaTAM, AGS and ORB.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.table2_tracking_accuracy` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_table2_ate(benchmark, settings):
+    """Table 2: tracking accuracy (ATE RMSE) of SplaTAM, AGS and ORB."""
+    data = benchmark.pedantic(
+        experiments.table2_tracking_accuracy, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

@@ -1,0 +1,17 @@
+"""Table 3: area breakdown of AGS-Edge and AGS-Server.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.table3_area` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_table3_area(benchmark):
+    """Table 3: area breakdown of AGS-Edge and AGS-Server."""
+    data = benchmark.pedantic(experiments.table3_area, rounds=1, iterations=1)
+    attach(benchmark, data)
+    assert data

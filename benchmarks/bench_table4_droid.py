@@ -1,0 +1,19 @@
+"""Table 4: AGS vs directly integrating Droid tracking with SplaTAM.
+
+Regenerates the corresponding result of the paper's evaluation section via
+:func:`repro.eval.experiments.table4_droid_comparison` at benchmark-sized settings; the
+returned rows are attached to the benchmark record.
+"""
+
+from conftest import attach
+
+from repro.eval import experiments
+
+
+def test_table4_droid(benchmark, settings):
+    """Table 4: AGS vs directly integrating Droid tracking with SplaTAM."""
+    data = benchmark.pedantic(
+        experiments.table4_droid_comparison, args=(settings,), rounds=1, iterations=1
+    )
+    attach(benchmark, data)
+    assert data

@@ -1,0 +1,33 @@
+"""Video CODEC substrate: block-matching motion estimation.
+
+Edge SoCs running SLAM ship a hardware video CODEC whose motion-estimation
+(ME) stage already computes, for every macro-block of the incoming frame,
+the Sum of Absolute Differences (SAD) against candidate blocks of the
+previous frame.  AGS repurposes the per-block *minimum* SAD values as a
+free covisibility signal.  This package implements the ME pipeline in
+software so those intermediate values exist in the reproduction: macro
+block partitioning, full / diamond search, SAD computation, motion
+vectors, and a streaming encoder front-end that emits per-frame metadata.
+"""
+
+from repro.codec.macroblock import MacroBlockGrid, split_into_macroblocks
+from repro.codec.motion_estimation import (
+    MotionEstimationResult,
+    diamond_search,
+    full_search,
+    motion_estimate,
+    sad,
+)
+from repro.codec.encoder import CodecFrameMetadata, StreamingEncoder
+
+__all__ = [
+    "CodecFrameMetadata",
+    "MacroBlockGrid",
+    "MotionEstimationResult",
+    "StreamingEncoder",
+    "diamond_search",
+    "full_search",
+    "motion_estimate",
+    "sad",
+    "split_into_macroblocks",
+]

@@ -1,0 +1,136 @@
+"""Gaussian contribution-aware mapping (Section 4.3 of the paper).
+
+Frames are designated key / non-key by their covisibility with the
+previous key frame (threshold ``ThreshM``):
+
+* **Key frames** run full mapping; the per-Gaussian alpha statistics of
+  the frame are recorded into the contribution table.
+* **Non-key frames** run selective mapping: Gaussians predicted as
+  non-contributory by the table (non-contributory pixel count above
+  ``ThreshN``) are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import AGSConfig
+from repro.core.contribution import GaussianContributionTable
+from repro.gaussians.camera import Intrinsics, Pose
+from repro.gaussians.model import GaussianModel
+from repro.slam.mapper import GaussianMapper, MapperConfig, MappingOutcome
+
+__all__ = ["AdaptiveMappingOutcome", "ContributionAwareMapper"]
+
+
+@dataclasses.dataclass
+class AdaptiveMappingOutcome:
+    """Result of contribution-aware mapping for one frame."""
+
+    model: GaussianModel
+    is_keyframe: bool
+    covisibility_with_keyframe: float | None
+    gaussians_skipped: int
+    mapping: MappingOutcome
+
+
+class ContributionAwareMapper:
+    """Key / non-key frame mapping with Gaussian skipping."""
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: AGSConfig | None = None,
+        mapper_config: MapperConfig | None = None,
+    ) -> None:
+        self.intrinsics = intrinsics
+        self.config = config or AGSConfig()
+        mapper_config = mapper_config or MapperConfig()
+        mapper_config = dataclasses.replace(
+            mapper_config, contribution_threshold=self.config.thresh_alpha
+        )
+        self.mapper = GaussianMapper(intrinsics, mapper_config)
+        self.contribution_table = GaussianContributionTable()
+
+    def reset(self) -> None:
+        """Reset mapper state for a new sequence."""
+        self.mapper.reset()
+        self.contribution_table.clear()
+
+    # ------------------------------------------------------------------
+    def designate_keyframe(self, covisibility_with_keyframe: float | None) -> bool:
+        """Decide whether the frame must be a key frame (full mapping).
+
+        A frame is a key frame when no previous key frame exists, when
+        contribution-aware mapping is disabled, or when its covisibility
+        with the previous key frame is below ``ThreshM``.
+        """
+        if not self.config.enable_contribution_mapping:
+            return True
+        if covisibility_with_keyframe is None:
+            return True
+        return covisibility_with_keyframe < self.config.thresh_m
+
+    # ------------------------------------------------------------------
+    def map_frame(
+        self,
+        model: GaussianModel,
+        frame_index: int,
+        frame_color: np.ndarray,
+        frame_depth: np.ndarray,
+        pose: Pose,
+        covisibility_with_keyframe: float | None,
+        keyframes: list[tuple[np.ndarray, np.ndarray, Pose]] | None = None,
+        collect_workload: bool = True,
+    ) -> AdaptiveMappingOutcome:
+        """Map one frame with full or selective mapping.
+
+        Returns the updated model together with the key-frame designation
+        and skipping statistics.
+        """
+        is_keyframe = self.designate_keyframe(covisibility_with_keyframe)
+        thresh_n = self.config.thresh_n_for_resolution(
+            self.intrinsics.width, self.intrinsics.height
+        )
+
+        if is_keyframe:
+            outcome = self.mapper.map_frame(
+                model,
+                frame_color,
+                frame_depth,
+                pose,
+                keyframes=keyframes,
+                record_contributions=True,
+                collect_workload=collect_workload,
+                allow_prune=True,
+            )
+            self.contribution_table.record(
+                frame_index, outcome.noncontrib_counts, outcome.contrib_counts
+            )
+            skipped = 0
+        else:
+            prediction = self.contribution_table.predict_active_mask(len(model), thresh_n)
+            outcome = self.mapper.map_frame(
+                model,
+                frame_color,
+                frame_depth,
+                pose,
+                keyframes=keyframes,
+                active_mask=prediction.active_mask,
+                record_contributions=False,
+                collect_workload=collect_workload,
+                # Pruning would invalidate the Gaussian indices recorded in
+                # the contribution table, so it only runs on key frames.
+                allow_prune=False,
+            )
+            skipped = prediction.num_skipped
+
+        return AdaptiveMappingOutcome(
+            model=outcome.model,
+            is_keyframe=is_keyframe,
+            covisibility_with_keyframe=covisibility_with_keyframe,
+            gaussians_skipped=skipped,
+            mapping=outcome,
+        )

@@ -1,0 +1,185 @@
+"""The complete AGS SLAM pipeline.
+
+Combines CODEC-assisted covisibility detection, movement-adaptive tracking
+and Gaussian contribution-aware mapping into a drop-in replacement for the
+baseline :class:`repro.slam.splatam.SplaTam` pipeline, and records the
+frame traces the hardware simulator consumes.
+
+Execution model.  As in Fig. 9 of the paper, AGS's coarse pose estimation
+does not depend on the Gaussians being updated by mapping, so on hardware
+the tracking of frame ``t+1`` overlaps the mapping of frame ``t``.  The
+Python implementation executes sequentially (the result is identical); the
+overlap is accounted for by the hardware timing model, which receives both
+workloads in the trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import AGSConfig
+from repro.core.covisibility import CovisibilityConfig, FrameCovisibilityDetector
+from repro.core.mapping import ContributionAwareMapper
+from repro.core.tracking import MovementAdaptiveTracker
+from repro.gaussians.camera import Intrinsics
+from repro.gaussians.model import GaussianModel
+from repro.slam.keyframes import KeyframeManager
+from repro.slam.mapper import MapperConfig
+from repro.slam.results import FrameResult, SlamResult
+from repro.slam.tracker import TrackerConfig
+from repro.workloads import FrameTrace, SequenceTrace, TrackingWorkload
+
+__all__ = ["AgsSlam"]
+
+
+class AgsSlam:
+    """AGS-accelerated 3DGS-SLAM."""
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: AGSConfig | None = None,
+        tracker_config: TrackerConfig | None = None,
+        mapper_config: MapperConfig | None = None,
+        covisibility_config: CovisibilityConfig | None = None,
+        mapping_iterations: int = 6,
+        keyframe_window: int = 8,
+        anchor_first_pose_to_gt: bool = True,
+        collect_trace: bool = True,
+    ) -> None:
+        self.intrinsics = intrinsics
+        self.config = config or AGSConfig()
+        covisibility_config = covisibility_config or CovisibilityConfig(
+            sad_scale=self.config.covisibility_sad_scale
+        )
+        self.covisibility = FrameCovisibilityDetector(covisibility_config)
+        self.tracking = MovementAdaptiveTracker(intrinsics, self.config, tracker_config)
+        mapper_config = mapper_config or MapperConfig()
+        mapper_config = dataclasses.replace(mapper_config, num_iterations=mapping_iterations)
+        self.mapping = ContributionAwareMapper(intrinsics, self.config, mapper_config)
+        self.keyframes = KeyframeManager(max_keyframes=keyframe_window)
+        self.anchor_first_pose_to_gt = anchor_first_pose_to_gt
+        self.collect_trace = collect_trace
+        self.model = GaussianModel.empty()
+        self._prev_frame = None
+        self._prev_pose = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all state for a new sequence."""
+        self.model = GaussianModel.empty()
+        self.covisibility.reset()
+        self.tracking.reset()
+        self.mapping.reset()
+        self.keyframes.reset()
+        self._prev_frame = None
+        self._prev_pose = None
+
+    # ------------------------------------------------------------------
+    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
+        """Run AGS over a sequence and return the SLAM result (with trace)."""
+        self.reset()
+        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
+        result = SlamResult(algorithm="ags", sequence=sequence.name)
+        trace = SequenceTrace(
+            sequence=sequence.name,
+            algorithm="ags",
+            width=self.intrinsics.width,
+            height=self.intrinsics.height,
+        )
+        for index in range(total):
+            frame = sequence[index]
+            frame_result, frame_trace = self.process_frame(index, frame)
+            result.frames.append(frame_result)
+            trace.frames.append(frame_trace)
+        result.final_model = self.model
+        if self.collect_trace:
+            result.trace = trace
+        return result
+
+    # ------------------------------------------------------------------
+    def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
+        """Process one frame through FC detection, tracking and mapping."""
+        gray = frame.gray
+
+        # -------- Step 1: CODEC-assisted frame covisibility detection ----
+        tracking_measurement = self.covisibility.observe(index, gray)
+        mapping_measurement = self.covisibility.compare_with_keyframe(gray)
+        tracking_cov = tracking_measurement.value if tracking_measurement else None
+        mapping_cov = mapping_measurement.value if mapping_measurement else None
+        sad_evaluations = (tracking_measurement.sad_evaluations if tracking_measurement else 0) + (
+            mapping_measurement.sad_evaluations if mapping_measurement else 0
+        )
+
+        # -------- Step 2: movement-adaptive tracking ----------------------
+        if index == 0 or self._prev_frame is None:
+            pose = frame.gt_pose.copy() if self.anchor_first_pose_to_gt else None
+            if pose is None:
+                from repro.gaussians.camera import Pose
+
+                pose = Pose.identity()
+            used_coarse_only = False
+            tracking_loss = 0.0
+            refine_iterations = 0
+            tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
+        else:
+            outcome = self.tracking.track(
+                self.model,
+                self._prev_frame.gray,
+                self._prev_frame.depth,
+                self._prev_pose,
+                frame.color,
+                frame.depth,
+                gray,
+                covisibility=tracking_cov,
+                collect_workload=self.collect_trace,
+            )
+            pose = outcome.pose
+            used_coarse_only = outcome.used_coarse_only
+            tracking_loss = outcome.tracking_loss
+            refine_iterations = outcome.refine_iterations
+            tracking_workload = outcome.workload
+
+        # -------- Step 3: Gaussian contribution-aware mapping -------------
+        mapping_outcome = self.mapping.map_frame(
+            self.model,
+            index,
+            frame.color,
+            frame.depth,
+            pose,
+            covisibility_with_keyframe=mapping_cov,
+            keyframes=self.keyframes.mapping_views(),
+            collect_workload=self.collect_trace,
+        )
+        self.model = mapping_outcome.model
+        if mapping_outcome.is_keyframe:
+            self.covisibility.register_keyframe(index, gray)
+            self.keyframes.add(index, frame.color, frame.depth, pose)
+
+        self._prev_frame = frame
+        self._prev_pose = pose.copy()
+
+        frame_result = FrameResult(
+            frame_index=index,
+            estimated_pose=pose.copy(),
+            tracking_iterations=refine_iterations,
+            mapping_iterations=mapping_outcome.mapping.iterations_run,
+            tracking_loss=tracking_loss,
+            mapping_loss=mapping_outcome.mapping.final_loss,
+            used_coarse_only=used_coarse_only,
+            is_keyframe=mapping_outcome.is_keyframe,
+            covisibility=tracking_cov,
+            num_gaussians=len(self.model),
+            gaussians_skipped=mapping_outcome.gaussians_skipped,
+        )
+        frame_trace = FrameTrace(
+            frame_index=index,
+            tracking=tracking_workload,
+            mapping=mapping_outcome.mapping.workload,
+            covisibility=tracking_cov,
+            codec_sad_evaluations=sad_evaluations,
+            num_gaussians=len(self.model),
+        )
+        return frame_result, frame_trace

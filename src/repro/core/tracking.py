@@ -1,0 +1,137 @@
+"""Movement-adaptive tracking (Section 4.2 of the paper).
+
+Every frame first receives a coarse pose estimate from the lightweight
+neural-style tracker (:class:`repro.slam.droid.DroidLiteTracker`).  The
+frame's covisibility with the previous frame then decides whether that
+estimate is good enough (high covisibility, small motion) or whether a
+fine-grained refinement — ``IterT`` 3DGS training iterations, far fewer
+than the baseline's ``N_T`` — is required.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import AGSConfig
+from repro.gaussians.camera import Intrinsics, Pose
+from repro.gaussians.model import GaussianModel
+from repro.slam.droid import DroidLiteConfig, DroidLiteTracker
+from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
+from repro.workloads import TrackingWorkload
+
+__all__ = ["AdaptiveTrackingOutcome", "MovementAdaptiveTracker"]
+
+
+@dataclasses.dataclass
+class AdaptiveTrackingOutcome:
+    """Result of movement-adaptive tracking for one frame."""
+
+    pose: Pose
+    used_coarse_only: bool
+    coarse_pose: Pose
+    refine_iterations: int
+    tracking_loss: float
+    workload: TrackingWorkload
+    covisibility: float | None
+
+
+class MovementAdaptiveTracker:
+    """Coarse-then-fine pose tracking driven by frame covisibility."""
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: AGSConfig | None = None,
+        tracker_config: TrackerConfig | None = None,
+        droid_config: DroidLiteConfig | None = None,
+    ) -> None:
+        self.intrinsics = intrinsics
+        self.config = config or AGSConfig()
+        self.coarse_tracker = DroidLiteTracker(intrinsics, droid_config)
+        self.fine_tracker = GaussianPoseTracker(intrinsics, tracker_config or TrackerConfig())
+        self._last_relative: Pose | None = None
+
+    def reset(self) -> None:
+        """Forget the velocity prior (new sequence)."""
+        self._last_relative = None
+
+    # ------------------------------------------------------------------
+    def track(
+        self,
+        model: GaussianModel,
+        prev_gray: np.ndarray,
+        prev_depth: np.ndarray,
+        prev_pose: Pose,
+        cur_color: np.ndarray,
+        cur_depth: np.ndarray,
+        cur_gray: np.ndarray,
+        covisibility: float | None,
+        collect_workload: bool = True,
+    ) -> AdaptiveTrackingOutcome:
+        """Track one frame.
+
+        Args:
+            model: the current Gaussian map (used only by the refinement).
+            prev_gray / prev_depth / prev_pose: previous frame observation
+                and its estimated pose.
+            cur_color / cur_depth / cur_gray: current frame observation.
+            covisibility: covisibility with the previous frame (None means
+                unknown and forces a refinement, e.g. for the very first
+                tracked frame).
+            collect_workload: record per-iteration render workloads.
+
+        Returns:
+            An :class:`AdaptiveTrackingOutcome`.
+        """
+        config = self.config
+
+        # ---------------- Coarse-grained pose estimation -----------------
+        coarse = self.coarse_tracker.track(
+            prev_gray, prev_depth, prev_pose, cur_gray, velocity_prior=self._last_relative
+        )
+        coarse_pose = coarse.pose
+        workload = TrackingWorkload(coarse_flops=coarse.flops, refine_iterations=0)
+
+        needs_refinement = (
+            not config.enable_movement_adaptive_tracking
+            or covisibility is None
+            or covisibility < config.thresh_t
+        )
+        if not config.enable_movement_adaptive_tracking:
+            refine_iterations = config.baseline_tracking_iterations
+        else:
+            refine_iterations = config.iter_t
+
+        pose = coarse_pose
+        tracking_loss = 0.0
+        iterations_run = 0
+        if needs_refinement and len(model) > 0 and refine_iterations > 0:
+            outcome = self.fine_tracker.track(
+                model,
+                cur_color,
+                cur_depth,
+                coarse_pose,
+                num_iterations=refine_iterations,
+                collect_workload=collect_workload,
+            )
+            pose = outcome.pose
+            tracking_loss = outcome.final_loss
+            iterations_run = outcome.iterations_run
+            workload = TrackingWorkload(
+                coarse_flops=coarse.flops,
+                refine_iterations=iterations_run,
+                refine_renders=outcome.workload.refine_renders,
+            )
+
+        self._last_relative = pose.relative_to(prev_pose)
+        return AdaptiveTrackingOutcome(
+            pose=pose,
+            used_coarse_only=not needs_refinement,
+            coarse_pose=coarse_pose,
+            refine_iterations=iterations_run,
+            tracking_loss=tracking_loss,
+            workload=workload,
+            covisibility=covisibility,
+        )

@@ -1,0 +1,35 @@
+"""Synthetic RGB-D SLAM sequences.
+
+The paper evaluates on TUM-RGBD, Replica and ScanNet++ sequences.  Those
+datasets are not shipped here; instead this subpackage builds synthetic
+stand-ins: procedurally generated Gaussian scenes observed along
+parametric camera trajectories whose velocity profiles mimic the motion
+statistics of the original sequences (slow hovering segments, quick pans,
+large viewpoint changes).  Every frame provides a color image, a depth
+map and the ground-truth pose, which is all the SLAM systems and the
+evaluation metrics consume.
+"""
+
+from repro.datasets.scene import SceneSpec, build_scene
+from repro.datasets.trajectory import TrajectorySpec, generate_trajectory
+from repro.datasets.sequences import RGBDFrame, SyntheticSequence, SequenceSpec
+from repro.datasets.registry import (
+    SEQUENCE_SPECS,
+    available_sequences,
+    load_sequence,
+    sequences_for_dataset,
+)
+
+__all__ = [
+    "RGBDFrame",
+    "SEQUENCE_SPECS",
+    "SceneSpec",
+    "SequenceSpec",
+    "SyntheticSequence",
+    "TrajectorySpec",
+    "available_sequences",
+    "build_scene",
+    "generate_trajectory",
+    "load_sequence",
+    "sequences_for_dataset",
+]

@@ -1,0 +1,209 @@
+"""Procedural synthetic scenes represented as ground-truth Gaussian models.
+
+A scene is simply a :class:`repro.gaussians.model.GaussianModel` describing
+the environment (floor, walls, furniture-like clusters).  Representing the
+ground truth with Gaussians lets the same rasterizer act as the "RGB-D
+sensor": color images are rendered directly and depth maps are the
+expected splat depth, which keeps the sensor model and the SLAM map in the
+same representation — exactly the situation the paper's SLAM systems face.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.model import GaussianModel
+
+__all__ = ["SceneSpec", "build_scene", "SCENE_BUILDERS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SceneSpec:
+    """Parameters of a procedural scene.
+
+    Attributes:
+        kind: one of ``"desk"``, ``"room"``, ``"house"``, ``"office"``.
+        extent: half-size of the scene bounding box in meters.
+        num_objects: number of furniture-like Gaussian clusters.
+        gaussians_per_object: cluster density.
+        wall_density: Gaussians per square meter of wall/floor surface.
+        seed: RNG seed so scenes are reproducible.
+    """
+
+    kind: str = "room"
+    extent: float = 2.5
+    num_objects: int = 6
+    gaussians_per_object: int = 40
+    wall_density: float = 14.0
+    seed: int = 0
+
+
+def _surface_gaussians(
+    rng: np.random.Generator,
+    origin: np.ndarray,
+    axis_u: np.ndarray,
+    axis_v: np.ndarray,
+    count: int,
+    base_color: np.ndarray,
+    color_jitter: float = 0.08,
+    scale: float = 0.12,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample Gaussians on a planar patch spanned by two axes."""
+    u = rng.uniform(0.0, 1.0, size=(count, 1))
+    v = rng.uniform(0.0, 1.0, size=(count, 1))
+    points = origin[None, :] + u * axis_u[None, :] + v * axis_v[None, :]
+    colors = np.clip(
+        base_color[None, :] + rng.normal(scale=color_jitter, size=(count, 3)), 0.05, 0.95
+    )
+    scales = np.full(count, scale) * rng.uniform(0.7, 1.3, size=count)
+    return points, colors, scales
+
+
+def _cluster_gaussians(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    size: np.ndarray,
+    count: int,
+    base_color: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample Gaussians forming a blobby object around ``center``."""
+    points = center[None, :] + rng.normal(size=(count, 3)) * size[None, :] * 0.4
+    colors = np.clip(base_color[None, :] + rng.normal(scale=0.1, size=(count, 3)), 0.05, 0.95)
+    scales = rng.uniform(0.04, 0.10, size=count) * float(np.mean(size))
+    return points, colors, scales
+
+
+def _assemble(parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]]) -> GaussianModel:
+    points = np.concatenate([p for p, _, _ in parts], axis=0)
+    colors = np.concatenate([c for _, c, _ in parts], axis=0)
+    scales = np.concatenate([s for _, _, s in parts], axis=0)
+    return GaussianModel.from_points(points, colors, scale=scales, opacity=0.85)
+
+
+def _build_box_room(spec: SceneSpec, rng: np.random.Generator) -> GaussianModel:
+    """Floor + three visible walls + object clusters."""
+    extent = spec.extent
+    wall_area = (2 * extent) ** 2
+    wall_count = max(int(spec.wall_density * wall_area), 20)
+    parts = []
+    # Floor (z = 0 plane, scene z-up).
+    parts.append(
+        _surface_gaussians(
+            rng,
+            origin=np.array([-extent, -extent, 0.0]),
+            axis_u=np.array([2 * extent, 0.0, 0.0]),
+            axis_v=np.array([0.0, 2 * extent, 0.0]),
+            count=wall_count,
+            base_color=np.array([0.55, 0.5, 0.45]),
+        )
+    )
+    wall_height = extent
+    wall_specs = [
+        (np.array([-extent, extent, 0.0]), np.array([2 * extent, 0.0, 0.0]), np.array([0.75, 0.72, 0.68])),
+        (np.array([-extent, -extent, 0.0]), np.array([2 * extent, 0.0, 0.0]), np.array([0.8, 0.74, 0.64])),
+        (np.array([-extent, -extent, 0.0]), np.array([0.0, 2 * extent, 0.0]), np.array([0.68, 0.72, 0.78])),
+        (np.array([extent, -extent, 0.0]), np.array([0.0, 2 * extent, 0.0]), np.array([0.72, 0.68, 0.74])),
+    ]
+    for origin, axis_u, color in wall_specs:
+        parts.append(
+            _surface_gaussians(
+                rng,
+                origin=origin,
+                axis_u=axis_u,
+                axis_v=np.array([0.0, 0.0, wall_height]),
+                count=wall_count // 2,
+                base_color=color,
+            )
+        )
+    palette = np.array(
+        [
+            [0.85, 0.3, 0.25],
+            [0.25, 0.55, 0.85],
+            [0.3, 0.75, 0.35],
+            [0.9, 0.75, 0.2],
+            [0.6, 0.35, 0.75],
+            [0.9, 0.5, 0.6],
+            [0.35, 0.7, 0.7],
+            [0.8, 0.6, 0.4],
+        ]
+    )
+    for obj in range(spec.num_objects):
+        center = np.array(
+            [
+                rng.uniform(-0.7 * extent, 0.7 * extent),
+                rng.uniform(-0.7 * extent, 0.7 * extent),
+                rng.uniform(0.1, 0.5) * extent,
+            ]
+        )
+        size = rng.uniform(0.15, 0.45, size=3) * extent * 0.5
+        color = palette[obj % len(palette)]
+        parts.append(_cluster_gaussians(rng, center, size, spec.gaussians_per_object, color))
+    return _assemble(parts)
+
+
+def _build_desk(spec: SceneSpec, rng: np.random.Generator) -> GaussianModel:
+    """A desk-like tabletop scene: tabletop plane plus dense small objects."""
+    extent = spec.extent * 0.6
+    parts = []
+    table_count = max(int(spec.wall_density * (2 * extent) ** 2), 30)
+    parts.append(
+        _surface_gaussians(
+            rng,
+            origin=np.array([-extent, -extent, 0.0]),
+            axis_u=np.array([2 * extent, 0.0, 0.0]),
+            axis_v=np.array([0.0, 2 * extent, 0.0]),
+            count=table_count,
+            base_color=np.array([0.5, 0.38, 0.28]),
+            scale=0.08,
+        )
+    )
+    palette = np.array(
+        [
+            [0.9, 0.9, 0.92],
+            [0.2, 0.2, 0.25],
+            [0.85, 0.25, 0.2],
+            [0.2, 0.5, 0.85],
+            [0.95, 0.8, 0.3],
+            [0.4, 0.75, 0.45],
+        ]
+    )
+    for obj in range(max(spec.num_objects, 4)):
+        center = np.array(
+            [
+                rng.uniform(-0.8 * extent, 0.8 * extent),
+                rng.uniform(-0.8 * extent, 0.8 * extent),
+                rng.uniform(0.05, 0.25) * extent,
+            ]
+        )
+        size = rng.uniform(0.08, 0.22, size=3) * extent
+        color = palette[obj % len(palette)]
+        parts.append(_cluster_gaussians(rng, center, size, spec.gaussians_per_object, color))
+    return _assemble(parts)
+
+
+def _build_house(spec: SceneSpec, rng: np.random.Generator) -> GaussianModel:
+    """A larger multi-room environment (two connected box rooms)."""
+    room_spec = dataclasses.replace(spec, kind="room", num_objects=max(spec.num_objects // 2, 3))
+    room_a = _build_box_room(room_spec, rng)
+    room_b = _build_box_room(room_spec, rng)
+    shift = np.array([2.2 * spec.extent, 0.0, 0.0])
+    room_b.means = room_b.means + shift
+    return room_a.extend(room_b)
+
+
+SCENE_BUILDERS = {
+    "room": _build_box_room,
+    "office": _build_box_room,
+    "desk": _build_desk,
+    "house": _build_house,
+}
+
+
+def build_scene(spec: SceneSpec) -> GaussianModel:
+    """Build the ground-truth Gaussian model for a scene specification."""
+    if spec.kind not in SCENE_BUILDERS:
+        raise ValueError(f"unknown scene kind '{spec.kind}'; options: {sorted(SCENE_BUILDERS)}")
+    rng = np.random.default_rng(spec.seed)
+    return SCENE_BUILDERS[spec.kind](spec, rng)

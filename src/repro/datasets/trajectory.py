@@ -1,0 +1,193 @@
+"""Parametric camera trajectories with realistic velocity profiles.
+
+Frame covisibility — the quantity AGS exploits — is determined by how fast
+the camera moves between consecutive frames.  The generators below produce
+trajectories whose per-frame speed alternates between slow "inspection"
+segments (high covisibility) and quick pans or relocations (low
+covisibility), mimicking the hand-held / robot-mounted motion of the
+TUM-RGBD, Replica and ScanNet++ sequences the paper evaluates on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.gaussians.camera import Pose
+
+__all__ = ["TrajectorySpec", "generate_trajectory", "speed_profile", "TRAJECTORY_KINDS"]
+
+TRAJECTORY_KINDS = ("orbit", "sweep", "hover", "walk")
+
+
+@dataclasses.dataclass(frozen=True)
+class TrajectorySpec:
+    """Parameters of a camera trajectory.
+
+    Attributes:
+        kind: one of :data:`TRAJECTORY_KINDS`.
+        num_frames: trajectory length.
+        radius: orbit radius / sweep length scale in meters.
+        height: camera height above the floor in meters.
+        center: (3,) point the camera generally looks at.
+        base_speed: nominal per-frame progress (radians for orbits,
+            meters for sweeps/walks).
+        burst_probability: probability that a frame belongs to a fast
+            "burst" segment (low covisibility).
+        burst_scale: speed multiplier during bursts.
+        jitter: standard deviation of the per-frame positional jitter.
+        seed: RNG seed.
+    """
+
+    kind: str = "orbit"
+    num_frames: int = 40
+    radius: float = 2.0
+    height: float = 1.2
+    center: tuple[float, float, float] = (0.0, 0.0, 0.4)
+    base_speed: float = 0.02
+    burst_probability: float = 0.25
+    burst_scale: float = 4.0
+    jitter: float = 0.002
+    seed: int = 0
+
+
+def speed_profile(spec: TrajectorySpec, rng: np.random.Generator) -> np.ndarray:
+    """Return the per-frame speed multipliers.
+
+    The profile is a smooth low-frequency wander plus burst segments of
+    2-4 consecutive fast frames, which is what creates the mix of high /
+    medium / low covisibility frames reported in the paper (Fig. 22).
+    """
+    frames = spec.num_frames
+    wander = 1.0 + 0.3 * np.sin(np.linspace(0.0, 4.0 * math.pi, frames) + rng.uniform(0, math.pi))
+    multipliers = wander.copy()
+    frame = 0
+    while frame < frames:
+        if rng.uniform() < spec.burst_probability:
+            burst_len = int(rng.integers(2, 5))
+            multipliers[frame : frame + burst_len] *= spec.burst_scale
+            frame += burst_len
+        else:
+            frame += 1
+    return multipliers
+
+
+def _poses_from_positions(
+    positions: np.ndarray, targets: np.ndarray
+) -> list[Pose]:
+    """Build look-at poses from per-frame positions and look targets."""
+    return [
+        Pose.look_at(eye=positions[i], target=targets[i], up=np.array([0.0, 0.0, 1.0]))
+        for i in range(len(positions))
+    ]
+
+
+def _orbit_trajectory(spec: TrajectorySpec, rng: np.random.Generator) -> list[Pose]:
+    center = np.asarray(spec.center, dtype=np.float64)
+    speeds = speed_profile(spec, rng) * spec.base_speed
+    angles = np.concatenate([[rng.uniform(0, 2 * math.pi)], speeds[:-1]]).cumsum()
+    positions = np.stack(
+        [
+            center[0] + spec.radius * np.cos(angles),
+            center[1] + spec.radius * np.sin(angles),
+            np.full(spec.num_frames, spec.height),
+        ],
+        axis=1,
+    )
+    positions += rng.normal(scale=spec.jitter, size=positions.shape)
+    targets = np.tile(center, (spec.num_frames, 1))
+    targets += rng.normal(scale=spec.jitter, size=targets.shape)
+    return _poses_from_positions(positions, targets)
+
+
+def _sweep_trajectory(spec: TrajectorySpec, rng: np.random.Generator) -> list[Pose]:
+    center = np.asarray(spec.center, dtype=np.float64)
+    speeds = speed_profile(spec, rng) * spec.base_speed * spec.radius
+    progress = np.concatenate([[0.0], speeds[:-1]]).cumsum()
+    # Back-and-forth sweep along x at fixed distance from the scene.
+    sweep = spec.radius * np.sin(progress / spec.radius * math.pi)
+    positions = np.stack(
+        [
+            center[0] + sweep,
+            np.full(spec.num_frames, center[1] - spec.radius),
+            np.full(spec.num_frames, spec.height),
+        ],
+        axis=1,
+    )
+    positions += rng.normal(scale=spec.jitter, size=positions.shape)
+    # Look direction pans together with the sweep.
+    targets = np.stack(
+        [
+            center[0] + 0.5 * sweep,
+            np.full(spec.num_frames, center[1]),
+            np.full(spec.num_frames, center[2]),
+        ],
+        axis=1,
+    )
+    return _poses_from_positions(positions, targets)
+
+
+def _hover_trajectory(spec: TrajectorySpec, rng: np.random.Generator) -> list[Pose]:
+    """Small translational motion around a fixed viewpoint (TUM fr1/xyz style)."""
+    center = np.asarray(spec.center, dtype=np.float64)
+    base = center + np.array([0.0, -spec.radius, spec.height - center[2]])
+    speeds = speed_profile(spec, rng) * spec.base_speed
+    phases = np.concatenate([[0.0], speeds[:-1]]).cumsum() * 8.0
+    offsets = 0.15 * spec.radius * np.stack(
+        [np.sin(phases), 0.3 * np.sin(2.0 * phases), 0.5 * np.cos(phases)], axis=1
+    )
+    positions = base[None, :] + offsets + rng.normal(scale=spec.jitter, size=(spec.num_frames, 3))
+    targets = np.tile(center, (spec.num_frames, 1))
+    return _poses_from_positions(positions, targets)
+
+
+def _walk_trajectory(spec: TrajectorySpec, rng: np.random.Generator) -> list[Pose]:
+    """Walk through the scene with turns: large displacements, low covisibility."""
+    center = np.asarray(spec.center, dtype=np.float64)
+    speeds = speed_profile(spec, rng) * spec.base_speed * spec.radius
+    headings = np.zeros(spec.num_frames)
+    heading = rng.uniform(0, 2 * math.pi)
+    heading_target = heading
+    # Turns are spread over several frames: a real walking camera yaws at a
+    # bounded rate, and an instantaneous 60-degree turn would be untrackable
+    # for any frame-to-frame method.
+    max_turn_rate = math.radians(6.0)
+    positions = np.zeros((spec.num_frames, 3))
+    position = center + np.array([-spec.radius, -spec.radius, 0.0])
+    position[2] = spec.height
+    for frame in range(spec.num_frames):
+        if rng.uniform() < 0.15:
+            heading_target = heading + rng.uniform(-math.pi / 3, math.pi / 3)
+        turn = np.clip(heading_target - heading, -max_turn_rate, max_turn_rate)
+        heading += turn
+        headings[frame] = heading
+        step = speeds[frame]
+        position = position + np.array([math.cos(heading), math.sin(heading), 0.0]) * step
+        # Keep the walk inside a loose bound around the scene.
+        position[:2] = np.clip(position[:2], -2.2 * spec.radius, 3.2 * spec.radius)
+        positions[frame] = position
+    # Look a couple of meters ahead along the (rate-limited) heading; the
+    # slight downward pitch keeps the floor and furniture in view.
+    look_ahead = positions + np.stack(
+        [np.cos(headings), np.sin(headings), np.full(spec.num_frames, -0.15)], axis=1
+    ) * max(2.0 * spec.radius, 2.0)
+    positions += rng.normal(scale=spec.jitter, size=positions.shape)
+    return _poses_from_positions(positions, look_ahead)
+
+
+_GENERATORS = {
+    "orbit": _orbit_trajectory,
+    "sweep": _sweep_trajectory,
+    "hover": _hover_trajectory,
+    "walk": _walk_trajectory,
+}
+
+
+def generate_trajectory(spec: TrajectorySpec) -> list[Pose]:
+    """Generate the list of world-to-camera poses for a trajectory spec."""
+    if spec.kind not in _GENERATORS:
+        raise ValueError(f"unknown trajectory kind '{spec.kind}'; options: {TRAJECTORY_KINDS}")
+    rng = np.random.default_rng(spec.seed)
+    return _GENERATORS[spec.kind](spec, rng)

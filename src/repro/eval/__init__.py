@@ -1,0 +1,15 @@
+"""Experiment harness: regenerates every table and figure of the paper's evaluation.
+
+Each experiment function in :mod:`repro.eval.experiments` runs the
+required SLAM configurations on the synthetic sequences, feeds the
+collected traces into the platform models, and returns a plain dictionary
+with the same rows / series the paper reports.  The benchmark scripts
+under ``benchmarks/`` are thin wrappers around these functions;
+:mod:`repro.eval.report` renders them as text tables.
+"""
+
+from repro.eval.runner import EvalSettings, run_slam, collect_platform_results
+from repro.eval import experiments
+from repro.eval.report import format_table
+
+__all__ = ["EvalSettings", "collect_platform_results", "experiments", "format_table", "run_slam"]

@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "geomean"]
+
+import math
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (0 if empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,160 @@
+"""Shared experiment infrastructure: cached SLAM runs and platform sims.
+
+Running the NumPy SLAM systems is the expensive part of every experiment,
+so runs are cached by (algorithm, sequence, configuration) for the
+lifetime of the process; all experiments and benchmarks share the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.core import AGSConfig, AgsSlam
+from repro.datasets import load_sequence
+from repro.hardware import (
+    AGS_EDGE,
+    AGS_SERVER,
+    AgsAccelerator,
+    GpuPlatform,
+    GsCorePlatform,
+    JETSON_XAVIER,
+    NVIDIA_A100,
+)
+from repro.slam import GaussianSlam, GaussianSlamConfig, OrbLiteSlam, SplaTam, SplaTamConfig
+from repro.workloads import scale_trace
+
+__all__ = ["EvalSettings", "run_slam", "collect_platform_results", "scaled_trace_for_platforms"]
+
+# Full-scale workload the traces are extrapolated to before platform
+# simulation (the paper's 640x480 frames and a SplaTAM-sized map).
+FULL_SCALE_PIXELS = 640 * 480
+FULL_SCALE_GAUSSIANS = 250_000
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalSettings:
+    """Size of the evaluation runs.
+
+    The defaults are sized for interactive use and the benchmark suite;
+    larger values reproduce smoother curves at proportionally larger cost.
+    """
+
+    num_frames: int = 10
+    baseline_tracking_iterations: int = 20
+    mapping_iterations: int = 5
+    ags_iter_t: int = 4
+    sequences: tuple[str, ...] = ("desk", "desk2", "room", "xyz", "house")
+    all_sequences: tuple[str, ...] = (
+        "desk", "desk2", "room", "xyz", "house", "room0", "office0", "s1", "s2",
+    )
+
+
+DEFAULT_SETTINGS = EvalSettings()
+
+
+@functools.lru_cache(maxsize=None)
+def run_slam(
+    algorithm: str,
+    sequence_name: str,
+    num_frames: int = DEFAULT_SETTINGS.num_frames,
+    tracking_iterations: int = DEFAULT_SETTINGS.baseline_tracking_iterations,
+    mapping_iterations: int = DEFAULT_SETTINGS.mapping_iterations,
+    iter_t: int = DEFAULT_SETTINGS.ags_iter_t,
+    thresh_m: float = 0.5,
+    thresh_n: int | None = None,
+    enable_mat: bool = True,
+    enable_gcm: bool = True,
+):
+    """Run (and cache) one SLAM configuration on one sequence.
+
+    Args:
+        algorithm: ``"splatam"``, ``"ags"``, ``"gaussian-slam"``,
+            ``"ags-gaussian-slam"`` or ``"orb"``.
+        sequence_name: registered sequence name.
+        num_frames: frames to process.
+        tracking_iterations: baseline N_T.
+        mapping_iterations: N_M.
+        iter_t: AGS refinement iterations.
+        thresh_m / thresh_n: AGS mapping thresholds.
+        enable_mat / enable_gcm: AGS ablation switches.
+
+    Returns:
+        The :class:`repro.slam.results.SlamResult` of the run.
+    """
+    sequence = load_sequence(sequence_name, num_frames=num_frames)
+    if algorithm == "splatam":
+        system = SplaTam(
+            sequence.intrinsics,
+            SplaTamConfig(
+                tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
+            ),
+        )
+        return system.run(sequence, num_frames=num_frames)
+    if algorithm == "gaussian-slam":
+        system = GaussianSlam(
+            sequence.intrinsics,
+            GaussianSlamConfig(
+                tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
+            ),
+        )
+        return system.run(sequence, num_frames=num_frames)
+    if algorithm == "orb":
+        system = OrbLiteSlam(sequence.intrinsics)
+        return system.run(sequence, num_frames=num_frames)
+    if algorithm in ("ags", "ags-gaussian-slam"):
+        config = AGSConfig(
+            iter_t=iter_t,
+            thresh_m=thresh_m,
+            thresh_n=thresh_n,
+            baseline_tracking_iterations=tracking_iterations,
+            enable_movement_adaptive_tracking=enable_mat,
+            enable_contribution_mapping=enable_gcm,
+        )
+        system = AgsSlam(sequence.intrinsics, config, mapping_iterations=mapping_iterations)
+        return system.run(sequence, num_frames=num_frames)
+    if algorithm == "droid-splatam":
+        # Direct integration of the coarse tracker with SplaTAM mapping:
+        # every frame keeps the coarse pose (thresh_t below any possible
+        # covisibility disables refinement) and runs full mapping.
+        config = AGSConfig(
+            thresh_t=-1.0,
+            iter_t=0,
+            baseline_tracking_iterations=tracking_iterations,
+            enable_contribution_mapping=False,
+        )
+        system = AgsSlam(sequence.intrinsics, config, mapping_iterations=mapping_iterations)
+        result = system.run(sequence, num_frames=num_frames)
+        result.algorithm = "droid-splatam"
+        return result
+    raise ValueError(f"unknown algorithm '{algorithm}'")
+
+
+def scaled_trace_for_platforms(result):
+    """Extrapolate a run's trace to the full-scale workload regime."""
+    trace = result.trace
+    pixel_factor = FULL_SCALE_PIXELS / max(trace.num_pixels, 1)
+    mean_gaussians = max(
+        sum(f.num_gaussians for f in trace.frames) / max(len(trace.frames), 1), 1.0
+    )
+    gaussian_factor = FULL_SCALE_GAUSSIANS / mean_gaussians
+    return scale_trace(trace, pixel_factor, gaussian_factor)
+
+
+def collect_platform_results(baseline_result, ags_result):
+    """Simulate the standard platform set on a (baseline, AGS) result pair.
+
+    Returns a dict with the six platforms of Fig. 15: GPU-Server (A100),
+    GPU-Edge (Xavier), GSCore-Server/Edge (baseline traces) and
+    AGS-Server/Edge (AGS traces).
+    """
+    baseline_trace = scaled_trace_for_platforms(baseline_result)
+    ags_trace = scaled_trace_for_platforms(ags_result)
+    return {
+        "GPU-Server": GpuPlatform(NVIDIA_A100).simulate(baseline_trace),
+        "GPU-Edge": GpuPlatform(JETSON_XAVIER).simulate(baseline_trace),
+        "GSCore-Server": GsCorePlatform(NVIDIA_A100).simulate(baseline_trace),
+        "GSCore-Edge": GsCorePlatform(JETSON_XAVIER).simulate(baseline_trace),
+        "AGS-Server": AgsAccelerator(AGS_SERVER).simulate(ags_trace),
+        "AGS-Edge": AgsAccelerator(AGS_EDGE).simulate(ags_trace),
+    }

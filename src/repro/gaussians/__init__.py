@@ -1,0 +1,41 @@
+"""Differentiable 3D Gaussian Splatting engine (NumPy).
+
+This subpackage implements the full 3DGS training pipeline the paper's
+SLAM systems are built on: projection of anisotropic 3D Gaussians to the
+image plane, tile assignment, depth sorting, alpha-blended rasterization
+with early termination, an analytic backward pass for both Gaussian
+parameters and camera poses, an Adam optimizer, and densification /
+pruning heuristics.
+
+The public entry points are:
+
+* :class:`repro.gaussians.camera.Camera` -- pinhole camera with an SE(3) pose.
+* :class:`repro.gaussians.model.GaussianModel` -- the Gaussian parameter set.
+* :func:`repro.gaussians.rasterizer.render` -- forward rendering.
+* :func:`repro.gaussians.gradients.render_backward` -- analytic gradients.
+* :class:`repro.gaussians.optimizer.Adam` -- parameter updates.
+"""
+
+from repro.gaussians.camera import Camera, Intrinsics, Pose
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import RasterizationResult, render
+from repro.gaussians.gradients import GaussianGradients, PoseGradients, render_backward
+from repro.gaussians.optimizer import Adam
+from repro.gaussians.loss import l1_loss, mse_loss, psnr, ssim
+
+__all__ = [
+    "Adam",
+    "Camera",
+    "GaussianGradients",
+    "GaussianModel",
+    "Intrinsics",
+    "Pose",
+    "PoseGradients",
+    "RasterizationResult",
+    "l1_loss",
+    "mse_loss",
+    "psnr",
+    "render",
+    "render_backward",
+    "ssim",
+]

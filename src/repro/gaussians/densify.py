@@ -1,0 +1,144 @@
+"""Densification and pruning heuristics for SLAM mapping.
+
+SplaTAM adds new Gaussians where the current map fails to explain the
+observed frame (low rendered silhouette, or large depth error in front of
+the existing surface) by back-projecting those pixels into world space,
+and periodically prunes Gaussians whose opacity has collapsed.  These
+routines implement that behaviour for the NumPy engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import RasterizationResult
+
+__all__ = ["DensificationConfig", "DensificationReport", "densify_from_frame", "prune_gaussians"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DensificationConfig:
+    """Configuration of SplaTAM-style densification.
+
+    Attributes:
+        silhouette_threshold: pixels with a rendered silhouette below this
+            value are considered unobserved and seed new Gaussians.
+        depth_error_threshold: relative depth error above which a pixel in
+            front of the current surface seeds a new Gaussian.
+        max_new_per_frame: cap on Gaussians added per frame.
+        subsample: take every N-th candidate pixel (keeps the map small).
+        initial_opacity: opacity of newly added Gaussians.
+        scale_factor: new Gaussian radius as a fraction of the pixel's
+            back-projected footprint.
+    """
+
+    silhouette_threshold: float = 0.5
+    depth_error_threshold: float = 0.1
+    max_new_per_frame: int = 250
+    subsample: int = 3
+    initial_opacity: float = 0.9
+    scale_factor: float = 1.2
+
+
+@dataclasses.dataclass
+class DensificationReport:
+    """Summary of one densification call."""
+
+    num_candidates: int
+    num_added: int
+    num_from_silhouette: int
+    num_from_depth: int
+
+
+def backproject_pixels(
+    camera: Camera, pixel_xy: np.ndarray, depths: np.ndarray
+) -> np.ndarray:
+    """Back-project pixel coordinates with depths into world space."""
+    intr = camera.intrinsics
+    x = (pixel_xy[:, 0] + 0.5 - intr.cx) / intr.fx * depths
+    y = (pixel_xy[:, 1] + 0.5 - intr.cy) / intr.fy * depths
+    cam_points = np.stack([x, y, depths], axis=1)
+    rot = camera.pose.rotation
+    return (cam_points - camera.pose.trans) @ rot
+
+
+def densify_from_frame(
+    model: GaussianModel,
+    camera: Camera,
+    result: RasterizationResult,
+    target_color: np.ndarray,
+    target_depth: np.ndarray,
+    config: DensificationConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[GaussianModel, DensificationReport]:
+    """Add Gaussians for unobserved / poorly explained pixels of a frame.
+
+    Returns the extended model (the input model is not modified) and a
+    report describing what was added.
+    """
+    config = config or DensificationConfig()
+    rng = rng or np.random.default_rng(0)
+    target_depth = np.asarray(target_depth, dtype=np.float64)
+    target_color = np.asarray(target_color, dtype=np.float64)
+
+    valid_depth = target_depth > 1e-6
+    unobserved = (result.silhouette < config.silhouette_threshold) & valid_depth
+    depth_error = np.abs(result.depth - target_depth) / np.maximum(target_depth, 1e-6)
+    poorly_explained = (
+        (depth_error > config.depth_error_threshold)
+        & (result.depth > target_depth)
+        & valid_depth
+        & ~unobserved
+    )
+
+    candidates = unobserved | poorly_explained
+    ys, xs = np.nonzero(candidates)
+    num_candidates = len(ys)
+    if num_candidates == 0:
+        return model, DensificationReport(0, 0, 0, 0)
+
+    order = rng.permutation(num_candidates)[:: max(config.subsample, 1)]
+    order = order[: config.max_new_per_frame]
+    ys, xs = ys[order], xs[order]
+
+    depths = target_depth[ys, xs]
+    pixel_xy = np.stack([xs, ys], axis=1).astype(np.float64)
+    points = backproject_pixels(camera, pixel_xy, depths)
+    colors = target_color[ys, xs]
+
+    # Scale each new Gaussian to roughly one pixel's footprint at its depth.
+    intr = camera.intrinsics
+    scales = config.scale_factor * depths / intr.fx
+    new_gaussians = GaussianModel.from_points(
+        points, colors, scale=np.maximum(scales, 1e-4), opacity=config.initial_opacity
+    )
+    extended = model.extend(new_gaussians)
+
+    report = DensificationReport(
+        num_candidates=num_candidates,
+        num_added=len(new_gaussians),
+        num_from_silhouette=int(unobserved[ys, xs].sum()),
+        num_from_depth=int(poorly_explained[ys, xs].sum()),
+    )
+    return extended, report
+
+
+def prune_gaussians(
+    model: GaussianModel,
+    min_opacity: float = 0.05,
+    max_scale: float | None = None,
+) -> tuple[GaussianModel, np.ndarray]:
+    """Remove Gaussians with collapsed opacity or degenerate scale.
+
+    Returns the pruned model and the boolean keep-mask over the input.
+    """
+    keep = model.alphas >= min_opacity
+    if max_scale is not None:
+        keep &= model.scales.max(axis=1) <= max_scale
+    if keep.all():
+        return model, keep
+    return model.subset(np.nonzero(keep)[0]), keep

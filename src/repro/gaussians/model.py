@@ -1,0 +1,210 @@
+"""Gaussian parameter container.
+
+Each Gaussian is described by the attributes used in the original 3DGS
+formulation (and by SplaTAM): a 3D mean, a log-scale vector, a rotation
+quaternion, an opacity logit, and an RGB color.  SplaTAM renders
+view-independent colors, so no spherical harmonics are stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import quat_to_rotmat
+
+__all__ = ["GaussianModel"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _inverse_sigmoid(x: np.ndarray) -> np.ndarray:
+    x = np.clip(x, 1e-6, 1.0 - 1e-6)
+    return np.log(x / (1.0 - x))
+
+
+@dataclasses.dataclass
+class GaussianModel:
+    """A set of anisotropic 3D Gaussians.
+
+    Attributes:
+        means: (N, 3) Gaussian centers in world coordinates.
+        log_scales: (N, 3) log standard deviations along the local axes.
+        quats: (N, 4) rotation quaternions ``(w, x, y, z)``.
+        opacities: (N,) opacity logits; sigmoid gives the blending opacity.
+        colors: (N, 3) RGB colors in [0, 1].
+    """
+
+    means: np.ndarray
+    log_scales: np.ndarray
+    quats: np.ndarray
+    opacities: np.ndarray
+    colors: np.ndarray
+
+    PARAM_NAMES = ("means", "log_scales", "quats", "opacities", "colors")
+
+    def __post_init__(self) -> None:
+        self.means = np.asarray(self.means, dtype=np.float64).reshape(-1, 3)
+        self.log_scales = np.asarray(self.log_scales, dtype=np.float64).reshape(-1, 3)
+        self.quats = np.asarray(self.quats, dtype=np.float64).reshape(-1, 4)
+        self.opacities = np.asarray(self.opacities, dtype=np.float64).reshape(-1)
+        self.colors = np.asarray(self.colors, dtype=np.float64).reshape(-1, 3)
+        counts = {
+            len(self.means),
+            len(self.log_scales),
+            len(self.quats),
+            len(self.opacities),
+            len(self.colors),
+        }
+        if len(counts) != 1:
+            raise ValueError(f"inconsistent Gaussian attribute lengths: {counts}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "GaussianModel":
+        """Return a model with zero Gaussians."""
+        return cls(
+            means=np.zeros((0, 3)),
+            log_scales=np.zeros((0, 3)),
+            quats=np.tile(np.array([1.0, 0.0, 0.0, 0.0]), (0, 1)),
+            opacities=np.zeros(0),
+            colors=np.zeros((0, 3)),
+        )
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        colors: np.ndarray,
+        scale: float | np.ndarray = 0.05,
+        opacity: float = 0.7,
+    ) -> "GaussianModel":
+        """Initialize isotropic Gaussians from a colored point cloud.
+
+        Args:
+            points: (N, 3) world positions.
+            colors: (N, 3) RGB colors in [0, 1].
+            scale: initial standard deviation (scalar or per-point array).
+            opacity: initial blending opacity in (0, 1).
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        colors = np.asarray(colors, dtype=np.float64).reshape(-1, 3)
+        count = len(points)
+        scale_arr = np.broadcast_to(np.asarray(scale, dtype=np.float64), (count,))
+        log_scales = np.log(np.maximum(scale_arr, 1e-6))[:, None].repeat(3, axis=1)
+        quats = np.tile(np.array([1.0, 0.0, 0.0, 0.0]), (count, 1))
+        opacities = np.full(count, float(_inverse_sigmoid(np.array(opacity))))
+        return cls(
+            means=points,
+            log_scales=log_scales,
+            quats=quats,
+            opacities=opacities,
+            colors=np.clip(colors, 0.0, 1.0),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        count: int,
+        extent: float = 2.0,
+        seed: int | None = None,
+        scale_range: tuple[float, float] = (0.02, 0.12),
+    ) -> "GaussianModel":
+        """Create a random model inside a cube of half-size ``extent``."""
+        rng = np.random.default_rng(seed)
+        means = rng.uniform(-extent, extent, size=(count, 3))
+        scales = rng.uniform(scale_range[0], scale_range[1], size=(count, 3))
+        quats = rng.normal(size=(count, 4))
+        quats /= np.linalg.norm(quats, axis=1, keepdims=True)
+        opacities = _inverse_sigmoid(rng.uniform(0.4, 0.95, size=count))
+        colors = rng.uniform(0.0, 1.0, size=(count, 3))
+        return cls(
+            means=means,
+            log_scales=np.log(scales),
+            quats=quats,
+            opacities=opacities,
+            colors=colors,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.means)
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Return the (N, 3) standard deviations."""
+        return np.exp(self.log_scales)
+
+    @property
+    def alphas(self) -> np.ndarray:
+        """Return the (N,) blending opacities in (0, 1)."""
+        return _sigmoid(self.opacities)
+
+    def covariances(self) -> np.ndarray:
+        """Return the (N, 3, 3) world-space covariance matrices."""
+        count = len(self)
+        covs = np.zeros((count, 3, 3))
+        scales = self.scales
+        for i in range(count):
+            rot = quat_to_rotmat(self.quats[i])
+            scale_mat = np.diag(scales[i])
+            m = rot @ scale_mat
+            covs[i] = m @ m.T
+        return covs
+
+    # ------------------------------------------------------------------
+    # Parameter-dict helpers (used by the optimizer)
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Return a name -> array view of the trainable parameters."""
+        return {name: getattr(self, name) for name in self.PARAM_NAMES}
+
+    def set_parameters(self, params: dict[str, np.ndarray]) -> None:
+        """Overwrite the trainable parameters from a name -> array dict."""
+        for name in self.PARAM_NAMES:
+            if name in params:
+                setattr(self, name, np.asarray(params[name], dtype=np.float64))
+
+    def copy(self) -> "GaussianModel":
+        """Return a deep copy of the model."""
+        return GaussianModel(
+            means=self.means.copy(),
+            log_scales=self.log_scales.copy(),
+            quats=self.quats.copy(),
+            opacities=self.opacities.copy(),
+            colors=self.colors.copy(),
+        )
+
+    def subset(self, indices: np.ndarray) -> "GaussianModel":
+        """Return a new model containing only the selected Gaussians."""
+        indices = np.asarray(indices)
+        return GaussianModel(
+            means=self.means[indices],
+            log_scales=self.log_scales[indices],
+            quats=self.quats[indices],
+            opacities=self.opacities[indices],
+            colors=self.colors[indices],
+        )
+
+    def extend(self, other: "GaussianModel") -> "GaussianModel":
+        """Return a new model concatenating ``self`` and ``other``."""
+        return GaussianModel(
+            means=np.concatenate([self.means, other.means], axis=0),
+            log_scales=np.concatenate([self.log_scales, other.log_scales], axis=0),
+            quats=np.concatenate([self.quats, other.quats], axis=0),
+            opacities=np.concatenate([self.opacities, other.opacities], axis=0),
+            colors=np.concatenate([self.colors, other.colors], axis=0),
+        )
+
+    def normalize_quaternions(self) -> None:
+        """Re-normalize quaternions in place (after gradient updates)."""
+        norms = np.linalg.norm(self.quats, axis=1, keepdims=True)
+        norms = np.where(norms < 1e-12, 1.0, norms)
+        self.quats = self.quats / norms

@@ -1,0 +1,173 @@
+"""EWA projection of 3D Gaussians to the image plane.
+
+The projection step (step 1 of the 3DGS pipeline in the paper, Fig. 2)
+transforms every Gaussian into camera space, projects its mean through the
+pinhole model and approximates the projected footprint by a 2D Gaussian
+whose covariance is obtained from the local affine (EWA) approximation:
+
+    Sigma_2D = J W Sigma_3D W^T J^T + blur * I
+
+where ``W`` is the world-to-camera rotation and ``J`` is the Jacobian of
+the perspective projection at the Gaussian mean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+
+__all__ = ["ProjectionResult", "project_gaussians", "batch_quat_to_rotmat"]
+
+# Low-pass filter added to the 2D covariance (in pixel^2), as in the
+# reference 3DGS implementation, to guarantee a minimum splat footprint.
+COV2D_BLUR = 0.3
+# Gaussians closer than this to the camera plane are culled.
+NEAR_CLIP = 0.05
+# Number of standard deviations used for the splat bounding radius.
+RADIUS_SIGMA = 3.0
+
+
+def batch_quat_to_rotmat(quats: np.ndarray) -> np.ndarray:
+    """Convert (N, 4) quaternions ``(w, x, y, z)`` to (N, 3, 3) matrices."""
+    quats = np.asarray(quats, dtype=np.float64)
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    w, x, y, z = (quats / norms).T
+    rot = np.empty((len(quats), 3, 3))
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rot
+
+
+def batch_covariances(model: GaussianModel) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return world covariances plus intermediates used by the backward pass.
+
+    Returns:
+        A tuple ``(cov3d, rotmats, m_mats)`` where ``m_mats = R @ diag(s)``
+        so that ``cov3d = m_mats @ m_mats^T``.
+    """
+    rotmats = batch_quat_to_rotmat(model.quats)
+    scales = model.scales
+    m_mats = rotmats * scales[:, None, :]
+    cov3d = m_mats @ np.transpose(m_mats, (0, 2, 1))
+    return cov3d, rotmats, m_mats
+
+
+@dataclasses.dataclass
+class ProjectionResult:
+    """Per-Gaussian projection outputs consumed by the rasterizer and backward.
+
+    Attributes:
+        means2d: (N, 2) projected pixel centers.
+        depths: (N,) camera-space depths.
+        cov2d: (N, 2, 2) projected covariances (with blur).
+        conics: (N, 2, 2) inverses of ``cov2d``.
+        radii: (N,) splat bounding radii in pixels.
+        visible: (N,) boolean visibility mask (in front of camera and on screen).
+        cam_points: (N, 3) Gaussian means in camera coordinates.
+        proj_jacobians: (N, 2, 3) perspective Jacobians ``J``.
+        view_rotation: (3, 3) world-to-camera rotation ``W``.
+        cov3d: (N, 3, 3) world covariances.
+        rotmats: (N, 3, 3) Gaussian local rotations.
+        m_mats: (N, 3, 3) ``R @ diag(scale)`` factors.
+    """
+
+    means2d: np.ndarray
+    depths: np.ndarray
+    cov2d: np.ndarray
+    conics: np.ndarray
+    radii: np.ndarray
+    visible: np.ndarray
+    cam_points: np.ndarray
+    proj_jacobians: np.ndarray
+    view_rotation: np.ndarray
+    cov3d: np.ndarray
+    rotmats: np.ndarray
+    m_mats: np.ndarray
+
+    @property
+    def num_visible(self) -> int:
+        """Number of Gaussians that survived culling."""
+        return int(np.count_nonzero(self.visible))
+
+
+def project_gaussians(model: GaussianModel, camera: Camera) -> ProjectionResult:
+    """Project all Gaussians of ``model`` into ``camera``.
+
+    Gaussians behind the near plane or whose splat lies entirely outside
+    the image are marked invisible but keep placeholder entries so that
+    indices remain aligned with the model.
+    """
+    count = len(model)
+    intr = camera.intrinsics
+    rotation = camera.pose.rotation
+    cam_points = model.means @ rotation.T + camera.pose.trans
+    depths = cam_points[:, 2]
+
+    safe_z = np.where(np.abs(depths) < 1e-8, 1e-8, depths)
+    u = intr.fx * cam_points[:, 0] / safe_z + intr.cx
+    v = intr.fy * cam_points[:, 1] / safe_z + intr.cy
+    means2d = np.stack([u, v], axis=1)
+
+    # Perspective Jacobian evaluated at the Gaussian mean.
+    jac = np.zeros((count, 2, 3))
+    jac[:, 0, 0] = intr.fx / safe_z
+    jac[:, 0, 2] = -intr.fx * cam_points[:, 0] / (safe_z**2)
+    jac[:, 1, 1] = intr.fy / safe_z
+    jac[:, 1, 2] = -intr.fy * cam_points[:, 1] / (safe_z**2)
+
+    cov3d, rotmats, m_mats = batch_covariances(model)
+    # T = J @ W ; cov2d = T cov3d T^T + blur I
+    t_mats = jac @ rotation[None, :, :]
+    cov2d = t_mats @ cov3d @ np.transpose(t_mats, (0, 2, 1))
+    cov2d[:, 0, 0] += COV2D_BLUR
+    cov2d[:, 1, 1] += COV2D_BLUR
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - cov2d[:, 0, 1] * cov2d[:, 1, 0]
+    det = np.where(np.abs(det) < 1e-12, 1e-12, det)
+    conics = np.empty_like(cov2d)
+    conics[:, 0, 0] = cov2d[:, 1, 1] / det
+    conics[:, 0, 1] = -cov2d[:, 0, 1] / det
+    conics[:, 1, 0] = -cov2d[:, 1, 0] / det
+    conics[:, 1, 1] = cov2d[:, 0, 0] / det
+
+    # Bounding radius from the largest eigenvalue of cov2d.
+    mid = 0.5 * (cov2d[:, 0, 0] + cov2d[:, 1, 1])
+    disc = np.sqrt(np.maximum(mid * mid - det, 1e-12))
+    lambda_max = mid + disc
+    radii = np.ceil(RADIUS_SIGMA * np.sqrt(np.maximum(lambda_max, 1e-12)))
+
+    in_front = depths > NEAR_CLIP
+    on_screen = (
+        (means2d[:, 0] + radii >= 0)
+        & (means2d[:, 0] - radii < intr.width)
+        & (means2d[:, 1] + radii >= 0)
+        & (means2d[:, 1] - radii < intr.height)
+    )
+    visible = in_front & on_screen
+
+    return ProjectionResult(
+        means2d=means2d,
+        depths=depths,
+        cov2d=cov2d,
+        conics=conics,
+        radii=radii,
+        visible=visible,
+        cam_points=cam_points,
+        proj_jacobians=jac,
+        view_rotation=rotation,
+        cov3d=cov3d,
+        rotmats=rotmats,
+        m_mats=m_mats,
+    )

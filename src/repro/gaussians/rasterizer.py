@@ -1,0 +1,312 @@
+"""Tile-based forward rasterizer for 3D Gaussian Splatting.
+
+Implements step 3 of the pipeline in the paper (Fig. 2): alpha-blended
+front-to-back compositing of depth-sorted Gaussians per tile, with the
+standard early-termination rule (stop once transmittance drops below
+``TRANSMITTANCE_EPS``).
+
+Besides color, the rasterizer renders the expected depth and a silhouette
+(accumulated opacity) channel — both are used by SplaTAM-style losses —
+and can optionally record per-Gaussian contribution statistics (the alpha
+values that AGS's Gaussian contribution-aware mapping consumes) and
+per-tile workload statistics (consumed by the hardware simulator).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.projection import ProjectionResult, project_gaussians
+from repro.gaussians.tiles import TILE_SIZE, GaussianTable, TileGrid, assign_tiles
+
+__all__ = [
+    "ALPHA_MIN",
+    "ALPHA_MAX",
+    "TRANSMITTANCE_EPS",
+    "RasterizationResult",
+    "TileWorkload",
+    "render",
+    "tile_forward",
+]
+
+# A Gaussian whose alpha at a pixel falls below this value is ignored by
+# the blending loop (matches the reference implementation's 1/255 cut-off).
+ALPHA_MIN = 1.0 / 255.0
+# Alpha is clamped to this maximum to keep the blending numerically stable.
+ALPHA_MAX = 0.99
+# Early termination threshold on the transmittance T (paper: 1e-4).
+TRANSMITTANCE_EPS = 1e-4
+
+
+@dataclasses.dataclass
+class TileWorkload:
+    """Workload statistics of one tile, consumed by the hardware simulator.
+
+    Attributes:
+        tile_index: flat tile index in the tile grid.
+        num_gaussians: Gaussians listed in the tile's Gaussian table.
+        pairs_computed: (pixel, Gaussian) pairs whose alpha was evaluated.
+        pairs_blended: pairs that actually contributed to blending
+            (alpha above ``ALPHA_MIN`` and not cut by early termination).
+        per_pixel_counts: per-pixel number of blended Gaussians, used to
+            model GPE load imbalance.
+    """
+
+    tile_index: int
+    num_gaussians: int
+    pairs_computed: int
+    pairs_blended: int
+    per_pixel_counts: np.ndarray
+
+
+@dataclasses.dataclass
+class RasterizationResult:
+    """Output of a forward rendering pass.
+
+    Attributes:
+        color: (H, W, 3) rendered image in [0, 1].
+        depth: (H, W) expected depth (0 where nothing was hit).
+        silhouette: (H, W) accumulated opacity in [0, 1].
+        final_transmittance: (H, W) remaining transmittance per pixel.
+        projection: per-Gaussian projection data (for the backward pass).
+        tile_grid: the tile grid / Gaussian tables used for rendering.
+        gaussian_max_alpha: (N,) maximum alpha each Gaussian reached.
+        gaussian_noncontrib_pixels: (N,) number of pixels for which the
+            Gaussian's alpha stayed below the contribution threshold.
+        gaussian_pixels_touched: (N,) pixels for which alpha was evaluated.
+        tile_workloads: per-tile workload statistics.
+        active_mask: the Gaussian mask that was rendered (None = all).
+    """
+
+    color: np.ndarray
+    depth: np.ndarray
+    silhouette: np.ndarray
+    final_transmittance: np.ndarray
+    projection: ProjectionResult
+    tile_grid: TileGrid
+    gaussian_max_alpha: np.ndarray
+    gaussian_noncontrib_pixels: np.ndarray
+    gaussian_pixels_touched: np.ndarray
+    tile_workloads: list[TileWorkload]
+    active_mask: np.ndarray | None = None
+
+    @property
+    def total_pairs_computed(self) -> int:
+        """Total number of alpha evaluations across the frame."""
+        return int(sum(w.pairs_computed for w in self.tile_workloads))
+
+    @property
+    def total_pairs_blended(self) -> int:
+        """Total number of blended (pixel, Gaussian) pairs across the frame."""
+        return int(sum(w.pairs_blended for w in self.tile_workloads))
+
+
+def _tile_pixel_centers(grid: TileGrid, table: GaussianTable) -> tuple[np.ndarray, tuple[int, int, int, int]]:
+    """Return (P, 2) pixel-center coordinates of a tile and its bounds."""
+    x0, x1, y0, y1 = grid.pixel_bounds(table)
+    xs = np.arange(x0, x1) + 0.5
+    ys = np.arange(y0, y1) + 0.5
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    pixels = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+    return pixels, (x0, x1, y0, y1)
+
+
+def tile_forward(
+    table: GaussianTable,
+    pixels: np.ndarray,
+    projection: ProjectionResult,
+    colors: np.ndarray,
+    opacities_sigmoid: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Compute the blending intermediates of one tile.
+
+    This helper is shared by the forward renderer and the backward pass so
+    that both operate on identical quantities.
+
+    Args:
+        table: the tile's depth-sorted Gaussian table.
+        pixels: (P, 2) pixel-center coordinates.
+        projection: projection data of the full model.
+        colors: (N, 3) Gaussian colors.
+        opacities_sigmoid: (N,) Gaussian opacities after the sigmoid.
+
+    Returns:
+        A dict with per-(pixel, Gaussian) arrays: offsets ``d`` (P, G, 2),
+        Gaussian kernel values ``gvals`` (P, G), clamped alphas ``alpha``
+        (P, G), exclusive transmittances ``t_before`` (P, G), blending
+        weights ``weights`` (P, G), a boolean ``clamped`` mask, plus the
+        per-pixel outputs ``color`` (P, 3), ``depth`` (P,), ``silhouette``
+        (P,) and ``final_t`` (P,).
+    """
+    ids = table.gaussian_ids
+    means = projection.means2d[ids]
+    conics = projection.conics[ids]
+    g_colors = colors[ids]
+    g_opacity = opacities_sigmoid[ids]
+    g_depths = projection.depths[ids]
+
+    d = pixels[:, None, :] - means[None, :, :]
+    a00 = conics[:, 0, 0]
+    a01 = conics[:, 0, 1]
+    a11 = conics[:, 1, 1]
+    power = -0.5 * (
+        a00[None, :] * d[:, :, 0] ** 2
+        + 2.0 * a01[None, :] * d[:, :, 0] * d[:, :, 1]
+        + a11[None, :] * d[:, :, 1] ** 2
+    )
+    power = np.minimum(power, 0.0)
+    gvals = np.exp(power)
+    raw_alpha = g_opacity[None, :] * gvals
+    clamped = raw_alpha > ALPHA_MAX
+    alpha = np.minimum(raw_alpha, ALPHA_MAX)
+    alpha = np.where(alpha < ALPHA_MIN, 0.0, alpha)
+
+    one_minus = 1.0 - alpha
+    # Exclusive cumulative product: transmittance before blending Gaussian i.
+    t_before = np.cumprod(one_minus, axis=1)
+    t_before = np.concatenate([np.ones((len(pixels), 1)), t_before[:, :-1]], axis=1)
+    # Early termination: once T falls below the epsilon, later Gaussians
+    # are skipped entirely.
+    terminated = t_before < TRANSMITTANCE_EPS
+    alpha = np.where(terminated, 0.0, alpha)
+    weights = t_before * alpha
+
+    color = weights @ g_colors
+    depth = weights @ g_depths
+    silhouette = weights.sum(axis=1)
+    final_t = np.where(len(ids) > 0, np.prod(np.where(terminated, 1.0, 1.0 - alpha), axis=1), 1.0)
+
+    return {
+        "ids": ids,
+        "d": d,
+        "gvals": gvals,
+        "alpha": alpha,
+        "raw_alpha": raw_alpha,
+        "clamped": clamped,
+        "terminated": terminated,
+        "t_before": t_before,
+        "weights": weights,
+        "color": color,
+        "depth": depth,
+        "silhouette": silhouette,
+        "final_t": final_t,
+        "g_colors": g_colors,
+        "g_depths": g_depths,
+        "g_opacity": g_opacity,
+    }
+
+
+def render(
+    model: GaussianModel,
+    camera: Camera,
+    active_mask: np.ndarray | None = None,
+    contribution_threshold: float = ALPHA_MIN,
+    record_workloads: bool = True,
+    tile_size: int = TILE_SIZE,
+    projection: ProjectionResult | None = None,
+    tile_grid: TileGrid | None = None,
+) -> RasterizationResult:
+    """Render ``model`` from ``camera``.
+
+    Args:
+        model: the Gaussian model.
+        camera: the viewpoint to render.
+        active_mask: optional (N,) boolean mask; Gaussians with a False
+            entry are skipped entirely (AGS selective mapping).
+        contribution_threshold: alpha threshold below which a Gaussian is
+            counted as non-contributory for a pixel (paper's ThreshAlpha).
+        record_workloads: collect per-tile workload statistics.
+        tile_size: tile edge length in pixels.
+        projection: optionally reuse a precomputed projection.
+        tile_grid: optionally reuse a precomputed tile grid.
+
+    Returns:
+        A :class:`RasterizationResult`.
+    """
+    intr = camera.intrinsics
+    height, width = intr.height, intr.width
+    if projection is None:
+        projection = project_gaussians(model, camera)
+    if active_mask is not None:
+        projection = dataclasses.replace(
+            projection, visible=projection.visible & np.asarray(active_mask, dtype=bool)
+        )
+    if tile_grid is None:
+        tile_grid = assign_tiles(projection, width, height, tile_size)
+
+    color = np.zeros((height, width, 3))
+    depth = np.zeros((height, width))
+    silhouette = np.zeros((height, width))
+    final_t = np.ones((height, width))
+
+    count = len(model)
+    max_alpha = np.zeros(count)
+    noncontrib = np.zeros(count, dtype=np.int64)
+    touched = np.zeros(count, dtype=np.int64)
+    workloads: list[TileWorkload] = []
+
+    opac = model.alphas
+    for tile_index, table in enumerate(tile_grid.tables):
+        if len(table) == 0:
+            if record_workloads:
+                workloads.append(
+                    TileWorkload(
+                        tile_index=tile_index,
+                        num_gaussians=0,
+                        pairs_computed=0,
+                        pairs_blended=0,
+                        per_pixel_counts=np.zeros(0, dtype=np.int64),
+                    )
+                )
+            continue
+        pixels, (x0, x1, y0, y1) = _tile_pixel_centers(tile_grid, table)
+        data = tile_forward(table, pixels, projection, model.colors, opac)
+
+        tile_h, tile_w = y1 - y0, x1 - x0
+        color[y0:y1, x0:x1] = data["color"].reshape(tile_h, tile_w, 3)
+        depth[y0:y1, x0:x1] = data["depth"].reshape(tile_h, tile_w)
+        silhouette[y0:y1, x0:x1] = data["silhouette"].reshape(tile_h, tile_w)
+        final_t[y0:y1, x0:x1] = data["final_t"].reshape(tile_h, tile_w)
+
+        ids = table.gaussian_ids
+        alpha = data["alpha"]
+        # Contribution is judged on the blending weight T * alpha (the
+        # actual influence on the pixel color), which also captures
+        # occlusion by closer Gaussians — the quantity the paper's GS
+        # logging table extracts from the GPEs.
+        weights = data["weights"]
+        np.maximum.at(max_alpha, ids, alpha.max(axis=0))
+        noncontrib_tile = (weights < contribution_threshold).sum(axis=0)
+        np.add.at(noncontrib, ids, noncontrib_tile)
+        np.add.at(touched, ids, alpha.shape[0])
+
+        if record_workloads:
+            blended_mask = alpha > 0.0
+            computed_mask = ~data["terminated"]
+            workloads.append(
+                TileWorkload(
+                    tile_index=tile_index,
+                    num_gaussians=len(ids),
+                    pairs_computed=int(computed_mask.sum()),
+                    pairs_blended=int(blended_mask.sum()),
+                    per_pixel_counts=blended_mask.sum(axis=1).astype(np.int64),
+                )
+            )
+
+    return RasterizationResult(
+        color=color,
+        depth=depth,
+        silhouette=silhouette,
+        final_transmittance=final_t,
+        projection=projection,
+        tile_grid=tile_grid,
+        gaussian_max_alpha=max_alpha,
+        gaussian_noncontrib_pixels=noncontrib,
+        gaussian_pixels_touched=touched,
+        tile_workloads=workloads,
+        active_mask=None if active_mask is None else np.asarray(active_mask, dtype=bool),
+    )

@@ -1,0 +1,68 @@
+"""Depth sorting utilities for Gaussian tables.
+
+Tile assignment in :mod:`repro.gaussians.tiles` already produces
+front-to-back ordered tables; this module exposes the sorting primitives
+separately because the hardware simulator models sorting as its own
+pipeline stage (the paper's step 2) and because GSCore-style hierarchical
+sorting is an ablation of interest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["argsort_by_depth", "is_sorted_by_depth", "merge_sorted_tables", "bucket_sort_depths"]
+
+
+def argsort_by_depth(depths: np.ndarray) -> np.ndarray:
+    """Return indices that order ``depths`` front-to-back (ascending)."""
+    return np.argsort(np.asarray(depths), kind="stable")
+
+
+def is_sorted_by_depth(depths: np.ndarray) -> bool:
+    """Return True if ``depths`` is non-decreasing."""
+    depths = np.asarray(depths)
+    if len(depths) < 2:
+        return True
+    return bool(np.all(np.diff(depths) >= 0))
+
+
+def merge_sorted_tables(
+    ids_a: np.ndarray, depths_a: np.ndarray, ids_b: np.ndarray, depths_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two depth-sorted (ids, depths) lists into one sorted list.
+
+    Used when incrementally adding newly densified Gaussians to an
+    existing table without re-sorting everything.
+    """
+    ids = np.concatenate([np.asarray(ids_a), np.asarray(ids_b)])
+    depths = np.concatenate([np.asarray(depths_a), np.asarray(depths_b)])
+    order = np.argsort(depths, kind="stable")
+    return ids[order], depths[order]
+
+
+def bucket_sort_depths(depths: np.ndarray, num_buckets: int = 16) -> np.ndarray:
+    """Approximate (bucketed) depth ordering, as used by hierarchical sorters.
+
+    GSCore sorts Gaussians hierarchically: a coarse bucket pass followed by
+    an in-bucket refinement.  This helper reproduces the coarse pass: it
+    returns an ordering where Gaussians are grouped by depth bucket and keep
+    their original relative order inside a bucket.
+
+    Args:
+        depths: per-Gaussian camera depths.
+        num_buckets: number of uniform depth buckets.
+
+    Returns:
+        Index array giving the bucketed ordering.
+    """
+    depths = np.asarray(depths, dtype=np.float64)
+    if len(depths) == 0:
+        return np.zeros(0, dtype=np.int64)
+    lo, hi = float(depths.min()), float(depths.max())
+    if hi - lo < 1e-12:
+        return np.arange(len(depths))
+    buckets = np.minimum(
+        ((depths - lo) / (hi - lo) * num_buckets).astype(np.int64), num_buckets - 1
+    )
+    return np.argsort(buckets, kind="stable")

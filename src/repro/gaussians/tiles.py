@@ -1,0 +1,144 @@
+"""Tile assignment: map projected Gaussians to screen tiles.
+
+The rasterizer processes the image in square tiles (``TILE_SIZE`` pixels on
+a side).  Every visible Gaussian is assigned to all tiles its bounding box
+overlaps; the per-tile Gaussian lists are the "Gaussian tables" of the
+paper (Fig. 2, step 2) and are also the unit of workload the AGS hardware
+simulator reasons about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.projection import ProjectionResult
+
+__all__ = ["TILE_SIZE", "TileGrid", "GaussianTable", "build_tile_grid", "assign_tiles"]
+
+TILE_SIZE = 8
+
+
+@dataclasses.dataclass
+class GaussianTable:
+    """Gaussians assigned to one tile, ordered by increasing depth.
+
+    Attributes:
+        tile_x, tile_y: tile coordinates in the tile grid.
+        gaussian_ids: indices into the Gaussian model, sorted by depth.
+        depths: camera-space depths matching ``gaussian_ids``.
+    """
+
+    tile_x: int
+    tile_y: int
+    gaussian_ids: np.ndarray
+    depths: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.gaussian_ids)
+
+
+@dataclasses.dataclass
+class TileGrid:
+    """The image partitioned into tiles with per-tile Gaussian tables."""
+
+    width: int
+    height: int
+    tile_size: int
+    tiles_x: int
+    tiles_y: int
+    tables: list[GaussianTable]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def table_at(self, tile_x: int, tile_y: int) -> GaussianTable:
+        """Return the Gaussian table of tile ``(tile_x, tile_y)``."""
+        return self.tables[tile_y * self.tiles_x + tile_x]
+
+    def pixel_bounds(self, table: GaussianTable) -> tuple[int, int, int, int]:
+        """Return ``(x0, x1, y0, y1)`` pixel bounds of a tile (x1/y1 exclusive)."""
+        x0 = table.tile_x * self.tile_size
+        y0 = table.tile_y * self.tile_size
+        x1 = min(x0 + self.tile_size, self.width)
+        y1 = min(y0 + self.tile_size, self.height)
+        return x0, x1, y0, y1
+
+    def total_assignments(self) -> int:
+        """Total number of (Gaussian, tile) pairs — the rendering workload."""
+        return int(sum(len(table) for table in self.tables))
+
+    def occupancy(self) -> np.ndarray:
+        """Return per-tile Gaussian counts as a (tiles_y, tiles_x) array."""
+        counts = np.array([len(table) for table in self.tables])
+        return counts.reshape(self.tiles_y, self.tiles_x)
+
+
+def build_tile_grid(width: int, height: int, tile_size: int = TILE_SIZE) -> tuple[int, int]:
+    """Return the number of tiles ``(tiles_x, tiles_y)`` covering the image."""
+    tiles_x = (width + tile_size - 1) // tile_size
+    tiles_y = (height + tile_size - 1) // tile_size
+    return tiles_x, tiles_y
+
+
+def assign_tiles(
+    projection: ProjectionResult,
+    width: int,
+    height: int,
+    tile_size: int = TILE_SIZE,
+) -> TileGrid:
+    """Assign projected Gaussians to tiles and depth-sort every table.
+
+    Args:
+        projection: output of :func:`repro.gaussians.projection.project_gaussians`.
+        width, height: image size in pixels.
+        tile_size: tile edge length in pixels.
+
+    Returns:
+        A :class:`TileGrid` whose tables list the overlapping Gaussians of
+        each tile sorted front-to-back.
+    """
+    tiles_x, tiles_y = build_tile_grid(width, height, tile_size)
+    visible_ids = np.nonzero(projection.visible)[0]
+
+    per_tile: list[list[int]] = [[] for _ in range(tiles_x * tiles_y)]
+    means2d = projection.means2d
+    radii = projection.radii
+    for gid in visible_ids:
+        cx, cy = means2d[gid]
+        radius = radii[gid]
+        tx0 = max(int((cx - radius) // tile_size), 0)
+        tx1 = min(int((cx + radius) // tile_size), tiles_x - 1)
+        ty0 = max(int((cy - radius) // tile_size), 0)
+        ty1 = min(int((cy + radius) // tile_size), tiles_y - 1)
+        for ty in range(ty0, ty1 + 1):
+            base = ty * tiles_x
+            for tx in range(tx0, tx1 + 1):
+                per_tile[base + tx].append(int(gid))
+
+    depths = projection.depths
+    tables: list[GaussianTable] = []
+    for ty in range(tiles_y):
+        for tx in range(tiles_x):
+            ids = np.array(per_tile[ty * tiles_x + tx], dtype=np.int64)
+            if len(ids):
+                order = np.argsort(depths[ids], kind="stable")
+                ids = ids[order]
+            tables.append(
+                GaussianTable(
+                    tile_x=tx,
+                    tile_y=ty,
+                    gaussian_ids=ids,
+                    depths=depths[ids] if len(ids) else np.zeros(0),
+                )
+            )
+
+    return TileGrid(
+        width=width,
+        height=height,
+        tile_size=tile_size,
+        tiles_x=tiles_x,
+        tiles_y=tiles_y,
+        tables=tables,
+    )

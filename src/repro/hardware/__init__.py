@@ -1,0 +1,54 @@
+"""AGS architecture simulator and baseline platform models.
+
+The paper evaluates AGS with a cycle-level simulator driven by traces
+collected from the SLAM algorithm, and compares against GPU platforms
+(NVIDIA A100, Jetson AGX Xavier) and the GSCore accelerator.  This package
+reproduces that methodology:
+
+* :mod:`repro.hardware.config` — AGS-Edge / AGS-Server design points.
+* :mod:`repro.hardware.dram` / :mod:`repro.hardware.sram` — memory timing
+  and energy models (Ramulator / CACTI stand-ins).
+* :mod:`repro.hardware.gpe` / :mod:`repro.hardware.gs_array` /
+  :mod:`repro.hardware.gpe_scheduler` — the rendering engines and the
+  workload-rebalancing scheduler.
+* :mod:`repro.hardware.systolic` — the systolic array running the coarse
+  tracker.
+* :mod:`repro.hardware.fc_engine`, :mod:`repro.hardware.tracking_engine`,
+  :mod:`repro.hardware.mapping_engine` — the three AGS engines.
+* :mod:`repro.hardware.accelerator` — the top-level AGS simulator with the
+  overlapped tracking / mapping execution model.
+* :mod:`repro.hardware.gpu_model`, :mod:`repro.hardware.gscore_model` —
+  baseline platforms.
+* :mod:`repro.hardware.area`, :mod:`repro.hardware.energy` — area and
+  energy models (Table 3 / Fig. 16).
+"""
+
+from repro.hardware.config import (
+    AGS_EDGE,
+    AGS_SERVER,
+    AgsHardwareConfig,
+    GpuConfig,
+    JETSON_XAVIER,
+    NVIDIA_A100,
+)
+from repro.hardware.accelerator import AgsAccelerator, FrameTiming, SimulationResult
+from repro.hardware.gpu_model import GpuPlatform
+from repro.hardware.gscore_model import GsCorePlatform
+from repro.hardware.area import area_report
+from repro.hardware.energy import energy_report
+
+__all__ = [
+    "AGS_EDGE",
+    "AGS_SERVER",
+    "AgsAccelerator",
+    "AgsHardwareConfig",
+    "FrameTiming",
+    "GpuConfig",
+    "GpuPlatform",
+    "GsCorePlatform",
+    "JETSON_XAVIER",
+    "NVIDIA_A100",
+    "SimulationResult",
+    "area_report",
+    "energy_report",
+]

@@ -1,0 +1,75 @@
+"""Operation cost constants shared by all platform models.
+
+These constants translate workload counts (Gaussians preprocessed, alpha
+evaluations, blended pairs, ...) into arithmetic operations and bytes of
+memory traffic.  They are derived from the 3DGS pipeline's arithmetic:
+projection of a Gaussian requires a handful of small matrix products,
+alpha evaluation is a 2x2 quadratic form plus an exponential, blending is
+a few multiply-adds, and the backward pass roughly doubles the forward
+cost.  All platform models share them so that cross-platform comparisons
+reflect architecture, not differing workload accounting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FLOPS_PREPROCESS_PER_GAUSSIAN",
+    "FLOPS_SORT_PER_GAUSSIAN",
+    "FLOPS_ALPHA_PER_PAIR",
+    "FLOPS_BLEND_PER_PAIR",
+    "FLOPS_BACKWARD_MULTIPLIER",
+    "FLOPS_UPDATE_PER_GAUSSIAN",
+    "BYTES_PER_GAUSSIAN_FEATURES",
+    "BYTES_PER_GAUSSIAN_GRADIENTS",
+    "BYTES_PER_PIXEL_STATE",
+    "BYTES_PER_TABLE_ENTRY",
+    "CYCLES_ALPHA_STAGE",
+    "CYCLES_BLEND_STAGE",
+    "CYCLES_GRADIENT_STAGE",
+    "CYCLES_PREPROCESS",
+    "CYCLES_SORT_PER_GAUSSIAN",
+]
+
+# ---------------------------------------------------------------------------
+# Arithmetic operation counts (FLOPs) per unit of work.
+# ---------------------------------------------------------------------------
+# Project a 3D Gaussian: world->camera transform, perspective divide,
+# covariance projection (J W Sigma W^T J^T), conic inversion, radius.
+FLOPS_PREPROCESS_PER_GAUSSIAN = 220.0
+# Depth sorting amortized per Gaussian-tile assignment (bitonic/radix).
+FLOPS_SORT_PER_GAUSSIAN = 24.0
+# Alpha evaluation: 2-vector offset, 2x2 quadratic form, exponential.
+FLOPS_ALPHA_PER_PAIR = 28.0
+# Alpha blending: transmittance update and 3-channel accumulation.
+FLOPS_BLEND_PER_PAIR = 14.0
+# Backward pass cost relative to the forward pass.
+FLOPS_BACKWARD_MULTIPLIER = 2.2
+# Adam update of one Gaussian's parameter set (14 scalars).
+FLOPS_UPDATE_PER_GAUSSIAN = 120.0
+
+# ---------------------------------------------------------------------------
+# Memory traffic (bytes) per unit of work.
+# ---------------------------------------------------------------------------
+# Position (3), log-scale (3), quaternion (4), opacity (1), color (3) as FP32.
+BYTES_PER_GAUSSIAN_FEATURES = 14 * 4
+# Gradients and Adam moments written back per updated Gaussian.
+BYTES_PER_GAUSSIAN_GRADIENTS = 3 * 14 * 4
+# Rendered color / depth / transmittance state per pixel.
+BYTES_PER_PIXEL_STATE = 6 * 4
+# One GS logging / skipping table entry: Gaussian ID + count (+ flag).
+BYTES_PER_TABLE_ENTRY = 8
+
+# ---------------------------------------------------------------------------
+# Cycle costs of the AGS pipelines (per unit of work, per processing element).
+# ---------------------------------------------------------------------------
+# A GPE evaluates one alpha (stage 1) in a short pipeline; the exponential
+# dominates.
+CYCLES_ALPHA_STAGE = 2.0
+# Stage 2 (blending) has a serial dependence through the transmittance.
+CYCLES_BLEND_STAGE = 2.0
+# Gradient computation per blended pair (backward).
+CYCLES_GRADIENT_STAGE = 4.0
+# Preprocessing one Gaussian on the preprocessing units of a GS array.
+CYCLES_PREPROCESS = 8.0
+# Sorting, amortized per Gaussian-tile assignment.
+CYCLES_SORT_PER_GAUSSIAN = 1.0

@@ -1,0 +1,78 @@
+"""Off-chip DRAM timing and energy model (Ramulator stand-in).
+
+The paper integrates Ramulator for DRAM timing.  This model captures the
+two first-order effects that matter for the evaluation: sustained
+bandwidth (LPDDR4 vs HBM2 is the main AGS-Edge vs AGS-Server difference)
+and a row-buffer-locality-dependent efficiency factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.config import DramConfig
+
+__all__ = ["DramAccessStats", "DramModel"]
+
+
+@dataclasses.dataclass
+class DramAccessStats:
+    """Accumulated DRAM traffic of a simulation."""
+
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    sequential_fraction: float = 0.8
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved."""
+        return self.bytes_read + self.bytes_written
+
+
+class DramModel:
+    """Bandwidth/latency/energy model of one DRAM channel configuration."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.stats = DramAccessStats()
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self.stats = DramAccessStats()
+
+    # ------------------------------------------------------------------
+    def efficiency(self, sequential_fraction: float) -> float:
+        """Achievable fraction of peak bandwidth for a traffic mix.
+
+        Streaming (sequential) traffic achieves close to peak bandwidth;
+        random traffic (e.g. per-Gaussian contribution-table updates)
+        achieves a small fraction because every access opens a new row.
+        """
+        sequential_fraction = min(max(sequential_fraction, 0.0), 1.0)
+        random_efficiency = 64.0 / self.config.row_buffer_bytes
+        return 0.85 * sequential_fraction + random_efficiency * (1.0 - sequential_fraction)
+
+    def transfer_seconds(self, num_bytes: float, sequential_fraction: float = 0.8) -> float:
+        """Time to move ``num_bytes`` with the given locality."""
+        if num_bytes <= 0:
+            return 0.0
+        bandwidth = self.config.bandwidth_gbps * 1e9 * self.efficiency(sequential_fraction)
+        return num_bytes / bandwidth + self.config.access_latency_ns * 1e-9
+
+    def record(self, bytes_read: float = 0.0, bytes_written: float = 0.0) -> None:
+        """Account traffic into the statistics."""
+        self.stats.bytes_read += bytes_read
+        self.stats.bytes_written += bytes_written
+
+    def access(
+        self, bytes_read: float = 0.0, bytes_written: float = 0.0, sequential_fraction: float = 0.8
+    ) -> float:
+        """Record traffic and return the time it takes."""
+        self.record(bytes_read, bytes_written)
+        return self.transfer_seconds(bytes_read + bytes_written, sequential_fraction)
+
+    def energy_joules(self, num_bytes: float | None = None) -> float:
+        """Energy of the recorded (or given) traffic."""
+        if num_bytes is None:
+            num_bytes = self.stats.total_bytes
+        return num_bytes * self.config.energy_pj_per_byte * 1e-12

@@ -1,0 +1,93 @@
+"""Energy model of the AGS accelerator and energy-efficiency comparison.
+
+Energy is accumulated from per-operation constants (28 nm, 500 MHz), SRAM
+access energy, DRAM traffic energy and leakage over the run time.  The
+energy-efficiency figures of the paper (Fig. 16) are the ratio of GPU
+energy to AGS energy on the same sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.accelerator import SimulationResult
+from repro.hardware.config import AgsHardwareConfig
+from repro.hardware.costs import (
+    FLOPS_ALPHA_PER_PAIR,
+    FLOPS_BACKWARD_MULTIPLIER,
+    FLOPS_BLEND_PER_PAIR,
+    FLOPS_PREPROCESS_PER_GAUSSIAN,
+    FLOPS_UPDATE_PER_GAUSSIAN,
+)
+from repro.workloads import SequenceTrace
+
+__all__ = ["EnergyReport", "energy_report", "accelerator_energy_joules"]
+
+# Energy constants (pJ) at 28 nm.
+_PJ_PER_FLOP = 1.1
+_PJ_PER_SYSTOLIC_MAC = 0.9
+_LEAKAGE_W_EDGE = 0.35
+_LEAKAGE_W_SERVER = 0.7
+
+
+@dataclasses.dataclass
+class EnergyReport:
+    """Energy breakdown of one simulated run."""
+
+    platform: str
+    sequence: str
+    compute_joules: float
+    dram_joules: float
+    leakage_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy of the run."""
+        return self.compute_joules + self.dram_joules + self.leakage_joules
+
+
+def _trace_flops(trace: SequenceTrace) -> tuple[float, float]:
+    """Return (gs_flops, systolic_macs) of a trace."""
+    gs_flops = 0.0
+    systolic_macs = 0.0
+    for frame in trace.frames:
+        systolic_macs += frame.tracking.coarse_flops / 2.0
+        for render in list(frame.tracking.refine_renders) + list(frame.mapping.renders):
+            forward = (
+                render.num_gaussians * FLOPS_PREPROCESS_PER_GAUSSIAN
+                + render.pairs_computed * FLOPS_ALPHA_PER_PAIR
+                + render.pairs_blended * FLOPS_BLEND_PER_PAIR
+            )
+            total = forward
+            if render.includes_backward:
+                total += forward * FLOPS_BACKWARD_MULTIPLIER
+                total += render.num_gaussians * FLOPS_UPDATE_PER_GAUSSIAN
+            gs_flops += total
+    return gs_flops, systolic_macs
+
+
+def accelerator_energy_joules(
+    config: AgsHardwareConfig, trace: SequenceTrace, result: SimulationResult
+) -> EnergyReport:
+    """Energy of an AGS run (trace gives the work, result gives the time)."""
+    gs_flops, systolic_macs = _trace_flops(trace)
+    compute = (gs_flops * _PJ_PER_FLOP + systolic_macs * _PJ_PER_SYSTOLIC_MAC) * 1e-12
+    dram = result.dram_bytes * config.dram.energy_pj_per_byte * 1e-12
+    leakage_power = _LEAKAGE_W_SERVER if "server" in config.name.lower() else _LEAKAGE_W_EDGE
+    leakage = leakage_power * result.total_seconds
+    return EnergyReport(
+        platform=config.name,
+        sequence=trace.sequence,
+        compute_joules=compute,
+        dram_joules=dram,
+        leakage_joules=leakage,
+    )
+
+
+def energy_report(
+    config: AgsHardwareConfig,
+    trace: SequenceTrace,
+    result: SimulationResult,
+) -> EnergyReport:
+    """Public alias of :func:`accelerator_energy_joules`."""
+    return accelerator_energy_joules(config, trace, result)

@@ -1,0 +1,61 @@
+"""Frame covisibility detection engine.
+
+The FC detection engine reads the per macro-block minimum SAD values the
+CODEC left in DRAM, accumulates them with a small adder tree, and compares
+the result against the configured thresholds.  Its cost is tiny — that is
+the point of reusing the CODEC — but it is modeled explicitly so the
+ablation that runs covisibility detection on the GPU (GPU-AGS in Fig. 18)
+has something concrete to be compared against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.config import AgsHardwareConfig
+from repro.hardware.dram import DramModel
+
+__all__ = ["FcDetectionTiming", "FcDetectionEngine"]
+
+_BYTES_PER_SAD_VALUE = 4
+_CYCLES_PER_COMPARISON = 1.0
+
+
+@dataclasses.dataclass
+class FcDetectionTiming:
+    """Cycle / time breakdown of one covisibility detection."""
+
+    dram_seconds: float
+    accumulate_cycles: float
+    compare_cycles: float
+
+    def total_seconds(self, frequency_hz: float) -> float:
+        """Total latency at the given clock frequency."""
+        return self.dram_seconds + (self.accumulate_cycles + self.compare_cycles) / frequency_hz
+
+
+class FcDetectionEngine:
+    """Timing model of the FC detection engine."""
+
+    def __init__(self, config: AgsHardwareConfig, dram: DramModel) -> None:
+        self.config = config
+        self.dram = dram
+
+    def detect(self, num_macroblocks: int, num_comparisons: int = 2) -> FcDetectionTiming:
+        """Model one detection over ``num_macroblocks`` SAD values.
+
+        Args:
+            num_macroblocks: macro-blocks whose minimum SADs are read.
+            num_comparisons: threshold comparisons performed (ThreshT and
+                ThreshM in the steady state).
+        """
+        if num_macroblocks <= 0:
+            return FcDetectionTiming(0.0, 0.0, 0.0)
+        dram_seconds = self.dram.access(
+            bytes_read=num_macroblocks * _BYTES_PER_SAD_VALUE, sequential_fraction=1.0
+        )
+        accumulate = num_macroblocks / max(self.config.num_fc_adders, 1)
+        compare = num_comparisons * _CYCLES_PER_COMPARISON / max(self.config.num_fc_comparators, 1)
+        return FcDetectionTiming(
+            dram_seconds=dram_seconds, accumulate_cycles=accumulate, compare_cycles=compare
+        )

@@ -1,0 +1,152 @@
+"""Roofline-style GPU platform model (A100 / Jetson AGX Xavier).
+
+Estimates the latency of a SLAM trace on a GPU.  Each 3DGS training
+iteration launches a sequence of kernels (projection, sorting, rendering,
+backward, optimizer); every kernel is bounded by compute throughput,
+memory bandwidth, and a fixed launch overhead.  The launch overhead term
+is what makes small-workload SLAM iterations so expensive on GPUs and what
+a dedicated accelerator eliminates; the compute term reflects that the
+irregular 3DGS kernels achieve only a fraction of peak throughput.
+
+The same model also executes the AGS *algorithm* on a GPU (the GPU-AGS
+ablation of Fig. 18): covisibility detection then costs explicit SAD
+kernels and the contribution bookkeeping costs additional memory traffic,
+both running serially with the SLAM pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.accelerator import FrameTiming, SimulationResult
+from repro.hardware.config import GpuConfig
+from repro.hardware.costs import (
+    BYTES_PER_GAUSSIAN_FEATURES,
+    BYTES_PER_GAUSSIAN_GRADIENTS,
+    BYTES_PER_PIXEL_STATE,
+    BYTES_PER_TABLE_ENTRY,
+    FLOPS_ALPHA_PER_PAIR,
+    FLOPS_BACKWARD_MULTIPLIER,
+    FLOPS_BLEND_PER_PAIR,
+    FLOPS_PREPROCESS_PER_GAUSSIAN,
+    FLOPS_SORT_PER_GAUSSIAN,
+    FLOPS_UPDATE_PER_GAUSSIAN,
+)
+from repro.workloads import FrameTrace, RenderWorkload, SequenceTrace
+
+__all__ = ["GpuPlatform"]
+
+# SAD cost of covisibility detection when it must run on the GPU.
+_FLOPS_PER_SAD_EVALUATION = 3.0 * 64.0  # abs-diff + accumulate over an 8x8 block
+
+
+class GpuPlatform:
+    """Latency / energy model of a GPU platform."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def iteration_flops(self, workload: RenderWorkload) -> float:
+        """FLOPs of one 3DGS forward (+ backward) iteration."""
+        forward = (
+            workload.num_gaussians * FLOPS_PREPROCESS_PER_GAUSSIAN
+            + workload.gaussians_rendered * FLOPS_SORT_PER_GAUSSIAN
+            + workload.pairs_computed * FLOPS_ALPHA_PER_PAIR
+            + workload.pairs_blended * FLOPS_BLEND_PER_PAIR
+        )
+        total = forward
+        if workload.includes_backward:
+            total += forward * FLOPS_BACKWARD_MULTIPLIER
+            total += workload.num_gaussians * FLOPS_UPDATE_PER_GAUSSIAN
+        return total
+
+    def iteration_bytes(self, workload: RenderWorkload) -> float:
+        """DRAM traffic of one 3DGS iteration."""
+        traffic = (
+            workload.num_gaussians * BYTES_PER_GAUSSIAN_FEATURES
+            + workload.num_pixels * BYTES_PER_PIXEL_STATE
+        )
+        if workload.includes_backward:
+            traffic += workload.num_gaussians * BYTES_PER_GAUSSIAN_GRADIENTS
+        return traffic
+
+    def iteration_seconds(self, workload: RenderWorkload) -> float:
+        """Latency of one 3DGS iteration."""
+        config = self.config
+        compute = self.iteration_flops(workload) / (
+            config.peak_tflops * 1e12 * config.achievable_fraction
+        )
+        memory = self.iteration_bytes(workload) / (config.bandwidth_gbps * 1e9 * 0.7)
+        launches = config.kernels_per_iteration * config.kernel_launch_overhead_us * 1e-6
+        return max(compute, memory) + launches
+
+    def coarse_tracking_seconds(self, flops: float) -> float:
+        """Latency of the coarse (conv/GRU) tracking workload."""
+        if flops <= 0:
+            return 0.0
+        config = self.config
+        compute = flops / (config.peak_tflops * 1e12 * config.achievable_fraction)
+        launches = 12 * config.kernel_launch_overhead_us * 1e-6
+        return compute + launches
+
+    def covisibility_seconds(self, sad_evaluations: int) -> float:
+        """Latency of covisibility detection executed on the GPU."""
+        if sad_evaluations <= 0:
+            return 0.0
+        config = self.config
+        compute = sad_evaluations * _FLOPS_PER_SAD_EVALUATION / (
+            config.peak_tflops * 1e12 * config.achievable_fraction
+        )
+        launches = 4 * config.kernel_launch_overhead_us * 1e-6
+        return compute + launches
+
+    def contribution_overhead_seconds(self, frame: FrameTrace) -> float:
+        """Extra latency of contribution-table bookkeeping on the GPU."""
+        entries = (
+            frame.mapping.contribution_entries_written + frame.mapping.contribution_entries_read
+        )
+        if entries <= 0:
+            return 0.0
+        config = self.config
+        bytes_moved = entries * BYTES_PER_TABLE_ENTRY * 4  # scattered accesses
+        memory = bytes_moved / (config.bandwidth_gbps * 1e9 * 0.1)
+        launches = 6 * config.kernel_launch_overhead_us * 1e-6
+        return memory + launches
+
+    # ------------------------------------------------------------------
+    def frame_timing(self, frame: FrameTrace) -> FrameTiming:
+        """Latency of one frame on the GPU (sequential execution)."""
+        fc_seconds = self.covisibility_seconds(frame.codec_sad_evaluations)
+        tracking = self.coarse_tracking_seconds(frame.tracking.coarse_flops)
+        tracking += sum(self.iteration_seconds(r) for r in frame.tracking.refine_renders)
+        mapping = sum(self.iteration_seconds(r) for r in frame.mapping.renders)
+        mapping += self.contribution_overhead_seconds(frame)
+        return FrameTiming(
+            frame_index=frame.frame_index,
+            fc_seconds=fc_seconds,
+            tracking_seconds=tracking,
+            mapping_seconds=mapping,
+            frame_seconds=fc_seconds + tracking + mapping,
+        )
+
+    def simulate(self, trace: SequenceTrace) -> SimulationResult:
+        """Latency of a full sequence trace on the GPU."""
+        result = SimulationResult(
+            platform=self.config.name, sequence=trace.sequence, algorithm=trace.algorithm
+        )
+        total_bytes = 0.0
+        for frame in trace.frames:
+            result.frames.append(self.frame_timing(frame))
+            total_bytes += sum(self.iteration_bytes(r) for r in frame.tracking.refine_renders)
+            total_bytes += sum(self.iteration_bytes(r) for r in frame.mapping.renders)
+        result.dram_bytes = total_bytes
+        return result
+
+    # ------------------------------------------------------------------
+    def energy_joules(self, result: SimulationResult) -> float:
+        """Energy of a simulated run (average-power model + DRAM)."""
+        config = self.config
+        average_power = 0.55 * config.peak_power_w + config.idle_power_w
+        dram_energy = result.dram_bytes * config.dram_energy_pj_per_byte * 1e-12
+        return average_power * result.total_seconds + dram_energy

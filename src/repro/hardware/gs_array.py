@@ -1,0 +1,106 @@
+"""GS array timing model: preprocessing, sorting and rendering on GPEs.
+
+A GS array is a collection of 4x4 GPE groups plus preprocessing / sorting
+front-ends.  Both the lightweight array of the pose tracking engine and
+the full array of the mapping engine use this model; they differ only in
+the number of GPE groups and the attached buffer sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.costs import (
+    BYTES_PER_GAUSSIAN_FEATURES,
+    BYTES_PER_GAUSSIAN_GRADIENTS,
+    BYTES_PER_PIXEL_STATE,
+    CYCLES_ALPHA_STAGE,
+    CYCLES_BLEND_STAGE,
+    CYCLES_GRADIENT_STAGE,
+    CYCLES_PREPROCESS,
+    CYCLES_SORT_PER_GAUSSIAN,
+)
+from repro.hardware.gpe_scheduler import utilization_factor
+from repro.workloads import RenderWorkload
+
+__all__ = ["GsArrayTiming", "GsArray"]
+
+
+@dataclasses.dataclass
+class GsArrayTiming:
+    """Cycle and traffic breakdown of one 3DGS iteration on a GS array."""
+
+    preprocess_cycles: float
+    sort_cycles: float
+    render_cycles: float
+    gradient_cycles: float
+    update_cycles: float
+    dram_bytes: float
+    utilization: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Total cycles of the iteration (stages execute back-to-back)."""
+        return (
+            self.preprocess_cycles
+            + self.sort_cycles
+            + self.render_cycles
+            + self.gradient_cycles
+            + self.update_cycles
+        )
+
+
+class GsArray:
+    """Timing model of a GS array with ``num_groups`` 4x4 GPE groups."""
+
+    def __init__(self, num_groups: int, group_dim: int = 4, enable_scheduler: bool = True) -> None:
+        self.num_groups = num_groups
+        self.group_dim = group_dim
+        self.enable_scheduler = enable_scheduler
+
+    @property
+    def num_gpes(self) -> int:
+        """Total number of GPEs in the array."""
+        return self.num_groups * self.group_dim**2
+
+    # ------------------------------------------------------------------
+    def iteration_timing(self, workload: RenderWorkload) -> GsArrayTiming:
+        """Cycles and DRAM traffic of one forward (+ backward) iteration."""
+        gpes = self.num_gpes
+        # Preprocessing and sorting run on per-group front-end units; each
+        # group advances one Gaussian per CYCLES_PREPROCESS.
+        preprocess = workload.num_gaussians * CYCLES_PREPROCESS / self.num_groups
+        sort = workload.gaussians_rendered * CYCLES_SORT_PER_GAUSSIAN / self.num_groups
+
+        utilization = utilization_factor(
+            workload.per_pixel_mean, workload.per_pixel_max, self.enable_scheduler
+        )
+        utilization = max(utilization, 1e-3)
+        render_ideal = (
+            workload.pairs_computed * CYCLES_ALPHA_STAGE
+            + workload.pairs_blended * CYCLES_BLEND_STAGE
+        ) / gpes
+        render = render_ideal / utilization
+
+        gradient = 0.0
+        update = 0.0
+        if workload.includes_backward:
+            gradient = workload.pairs_blended * CYCLES_GRADIENT_STAGE / gpes / utilization
+            update = workload.num_gaussians * CYCLES_PREPROCESS / self.num_groups
+
+        dram_bytes = (
+            workload.num_gaussians * BYTES_PER_GAUSSIAN_FEATURES
+            + workload.num_pixels * BYTES_PER_PIXEL_STATE
+        )
+        if workload.includes_backward:
+            dram_bytes += workload.num_gaussians * BYTES_PER_GAUSSIAN_GRADIENTS
+
+        return GsArrayTiming(
+            preprocess_cycles=preprocess,
+            sort_cycles=sort,
+            render_cycles=render,
+            gradient_cycles=gradient,
+            update_cycles=update,
+            dram_bytes=dram_bytes,
+            utilization=utilization,
+        )

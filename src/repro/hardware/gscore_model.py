@@ -1,0 +1,98 @@
+"""GSCore baseline model.
+
+GSCore accelerates the *inference* (forward rendering) part of 3DGS with
+dedicated intersection-test / sorting / rasterization units.  It does not
+accelerate training, so — exactly as in the paper's methodology — the
+comparison point combines GSCore's fast forward pass with the remaining
+training work (backward pass, optimizer, pose updates) executed on the
+companion GPU.  The paper evaluates a GSCore-Edge (paired with the Jetson)
+and a GSCore-Server (paired with the A100).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.accelerator import FrameTiming, SimulationResult
+from repro.hardware.config import GpuConfig
+from repro.hardware.costs import (
+    CYCLES_ALPHA_STAGE,
+    CYCLES_BLEND_STAGE,
+    CYCLES_PREPROCESS,
+    CYCLES_SORT_PER_GAUSSIAN,
+    FLOPS_BACKWARD_MULTIPLIER,
+)
+from repro.hardware.gpu_model import GpuPlatform
+from repro.workloads import FrameTrace, RenderWorkload, SequenceTrace
+
+__all__ = ["GsCorePlatform"]
+
+
+class GsCorePlatform:
+    """GSCore (forward accelerator) + GPU (training) combination."""
+
+    def __init__(
+        self,
+        gpu_config: GpuConfig,
+        name: str | None = None,
+        num_rasterizer_lanes: int = 256,
+        frequency_mhz: float = 1000.0,
+        subtile_skip_fraction: float = 0.3,
+    ) -> None:
+        self.gpu = GpuPlatform(gpu_config)
+        self.name = name or f"GSCore-{gpu_config.name}"
+        self.num_rasterizer_lanes = num_rasterizer_lanes
+        self.frequency_hz = frequency_mhz * 1e6
+        # GSCore's shape-aware intersection test and sub-tile skipping
+        # remove a fraction of the (pixel, Gaussian) pairs before blending.
+        self.subtile_skip_fraction = subtile_skip_fraction
+
+    # ------------------------------------------------------------------
+    def forward_seconds(self, workload: RenderWorkload) -> float:
+        """Forward rendering latency on the GSCore units."""
+        pairs = workload.pairs_computed * (1.0 - self.subtile_skip_fraction)
+        cycles = (
+            workload.num_gaussians * CYCLES_PREPROCESS / 16.0
+            + workload.gaussians_rendered * CYCLES_SORT_PER_GAUSSIAN / 8.0
+            + (pairs * CYCLES_ALPHA_STAGE + workload.pairs_blended * CYCLES_BLEND_STAGE)
+            / self.num_rasterizer_lanes
+        )
+        return cycles / self.frequency_hz
+
+    def iteration_seconds(self, workload: RenderWorkload) -> float:
+        """One training iteration: GSCore forward + GPU backward/update."""
+        gpu_full = self.gpu.iteration_seconds(workload)
+        if not workload.includes_backward:
+            return self.forward_seconds(workload)
+        # Split the GPU iteration cost into its forward and backward parts
+        # and replace only the forward part with the accelerator.
+        forward_fraction = 1.0 / (1.0 + FLOPS_BACKWARD_MULTIPLIER)
+        gpu_backward = gpu_full * (1.0 - forward_fraction)
+        return self.forward_seconds(workload) + gpu_backward
+
+    # ------------------------------------------------------------------
+    def frame_timing(self, frame: FrameTrace) -> FrameTiming:
+        """Latency of one frame (GSCore forward + GPU everything else)."""
+        fc_seconds = self.gpu.covisibility_seconds(frame.codec_sad_evaluations)
+        tracking = self.gpu.coarse_tracking_seconds(frame.tracking.coarse_flops)
+        tracking += sum(self.iteration_seconds(r) for r in frame.tracking.refine_renders)
+        mapping = sum(self.iteration_seconds(r) for r in frame.mapping.renders)
+        mapping += self.gpu.contribution_overhead_seconds(frame)
+        return FrameTiming(
+            frame_index=frame.frame_index,
+            fc_seconds=fc_seconds,
+            tracking_seconds=tracking,
+            mapping_seconds=mapping,
+            frame_seconds=fc_seconds + tracking + mapping,
+        )
+
+    def simulate(self, trace: SequenceTrace) -> SimulationResult:
+        """Latency of a full sequence trace."""
+        result = SimulationResult(
+            platform=self.name, sequence=trace.sequence, algorithm=trace.algorithm
+        )
+        total_bytes = 0.0
+        for frame in trace.frames:
+            result.frames.append(self.frame_timing(frame))
+            total_bytes += sum(self.gpu.iteration_bytes(r) for r in frame.tracking.refine_renders)
+            total_bytes += sum(self.gpu.iteration_bytes(r) for r in frame.mapping.renders)
+        result.dram_bytes = total_bytes
+        return result

@@ -1,0 +1,99 @@
+"""Mapping engine: full-scale GS array with contribution tables.
+
+Executes Gaussian contribution-aware mapping: full mapping (plus logging
+table updates) on key frames, selective mapping (after the skipping table
+cleared the valid flags of predicted non-contributory Gaussians) on
+non-key frames.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hardware.config import AgsHardwareConfig
+from repro.hardware.dram import DramModel
+from repro.hardware.gs_array import GsArray
+from repro.hardware.logging_table import GsLoggingTable
+from repro.hardware.skipping_table import GsSkippingTable
+from repro.workloads import MappingWorkload
+
+__all__ = ["MappingTiming", "MappingEngine"]
+
+
+@dataclasses.dataclass
+class MappingTiming:
+    """Latency breakdown of one frame's mapping."""
+
+    render_seconds: float
+    table_seconds: float
+    dram_bytes: float
+    table_dram_bytes: float
+    is_keyframe: bool
+
+    @property
+    def total_seconds(self) -> float:
+        """Rendering and table maintenance execute back-to-back."""
+        return self.render_seconds + self.table_seconds
+
+
+class MappingEngine:
+    """Timing model of the mapping engine."""
+
+    def __init__(self, config: AgsHardwareConfig, dram: DramModel) -> None:
+        self.config = config
+        self.dram = dram
+        self.gs_array = GsArray(
+            config.num_gpe_groups,
+            config.gpe_group_dim,
+            enable_scheduler=config.enable_gpe_scheduler,
+        )
+        self.logging_table = GsLoggingTable(config)
+        self.skipping_table = GsSkippingTable(config)
+
+    def frame_timing(self, workload: MappingWorkload) -> MappingTiming:
+        """Latency of one frame's mapping workload."""
+        frequency = self.config.frequency_hz
+        render_seconds = 0.0
+        dram_bytes = 0.0
+        per_tile = np.zeros(0, dtype=np.int64)
+        for render in workload.renders:
+            timing = self.gs_array.iteration_timing(render)
+            compute_seconds = timing.total_cycles / frequency
+            memory_seconds = self.dram.access(
+                bytes_read=timing.dram_bytes * 0.7,
+                bytes_written=timing.dram_bytes * 0.3,
+                sequential_fraction=0.85,
+            )
+            render_seconds += max(compute_seconds, memory_seconds)
+            dram_bytes += timing.dram_bytes
+            if len(render.per_tile_gaussians) > len(per_tile):
+                per_tile = render.per_tile_gaussians
+
+        table_seconds = 0.0
+        table_bytes = 0.0
+        if workload.is_keyframe:
+            traffic = self.logging_table.record_traffic(per_tile)
+            table_bytes = traffic.dram_bytes
+            table_seconds = traffic.update_cycles / frequency + self.dram.access(
+                bytes_read=table_bytes * 0.5,
+                bytes_written=table_bytes * 0.5,
+                sequential_fraction=0.4,
+            )
+        else:
+            traffic = self.skipping_table.prepare_frame(
+                workload.gaussians_considered, workload.gaussians_skipped, workload.iterations
+            )
+            table_bytes = traffic.table_bytes_read
+            table_seconds = traffic.compare_cycles / frequency + self.dram.access(
+                bytes_read=table_bytes, sequential_fraction=1.0
+            )
+
+        return MappingTiming(
+            render_seconds=render_seconds,
+            table_seconds=table_seconds,
+            dram_bytes=dram_bytes,
+            table_dram_bytes=table_bytes,
+            is_keyframe=workload.is_keyframe,
+        )

@@ -1,0 +1,63 @@
+"""GS skipping table and comparison unit (non-key-frame selective mapping).
+
+Before a non-key frame's mapping starts, the skipping table streams the
+recorded per-Gaussian non-contributory counts from DRAM, the comparison
+unit checks them against ``ThreshN`` and clears the valid flag of
+Gaussians to skip, and the GS array then fetches only valid Gaussians.
+The model reports the table traffic and the Gaussian-feature traffic that
+the skipping avoids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.config import AgsHardwareConfig
+from repro.hardware.costs import BYTES_PER_GAUSSIAN_FEATURES, BYTES_PER_TABLE_ENTRY
+from repro.hardware.sram import SramBuffer
+
+__all__ = ["SkippingTableTraffic", "GsSkippingTable"]
+
+
+@dataclasses.dataclass
+class SkippingTableTraffic:
+    """Traffic / cycles of preparing selective mapping for one frame."""
+
+    table_bytes_read: float
+    compare_cycles: float
+    feature_bytes_avoided: float
+
+
+class GsSkippingTable:
+    """Timing / traffic model of the GS skipping table + comparison unit."""
+
+    def __init__(self, config: AgsHardwareConfig) -> None:
+        self.config = config
+        self.buffer = SramBuffer(
+            name="GS skipping buffer",
+            capacity_kb=config.skipping_table_kb,
+            entry_bytes=BYTES_PER_TABLE_ENTRY,
+        )
+
+    def prepare_frame(
+        self, num_gaussians: int, num_skipped: int, mapping_iterations: int
+    ) -> SkippingTableTraffic:
+        """Traffic of one non-key frame's skipping preparation.
+
+        Args:
+            num_gaussians: Gaussians whose records are evaluated.
+            num_skipped: Gaussians whose valid flag ends up cleared.
+            mapping_iterations: mapping iterations that benefit from the
+                avoided Gaussian-feature fetches.
+        """
+        if num_gaussians <= 0:
+            return SkippingTableTraffic(0.0, 0.0, 0.0)
+        table_bytes = num_gaussians * BYTES_PER_TABLE_ENTRY
+        self.buffer.read(min(table_bytes, self.buffer.capacity_bytes))
+        compare_cycles = num_gaussians / max(self.config.num_comparison_units, 1)
+        avoided = num_skipped * BYTES_PER_GAUSSIAN_FEATURES * max(mapping_iterations, 1)
+        return SkippingTableTraffic(
+            table_bytes_read=float(table_bytes),
+            compare_cycles=float(compare_cycles),
+            feature_bytes_avoided=float(avoided),
+        )

@@ -1,0 +1,59 @@
+"""Systolic array model for the coarse (neural-style) tracking workload.
+
+The pose tracking engine contains a set of 32x32 systolic arrays that run
+the convolutional feature extraction and GRU-style update of the coarse
+pose estimator.  Convolutions and small dense solves map onto the array as
+matrix multiplications; the model accounts for pipeline fill overhead and
+a sustained utilization below 100 % (boundary effects, small matrices).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["SystolicTiming", "SystolicArray"]
+
+# Sustained fraction of peak MACs for convolution-style workloads.
+_SUSTAINED_UTILIZATION = 0.75
+# Cycles to fill/drain the array per mapped matrix tile.
+_FILL_OVERHEAD_CYCLES = 64.0
+
+
+@dataclasses.dataclass
+class SystolicTiming:
+    """Cycle estimate for a block of dense compute on the systolic arrays."""
+
+    mac_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Total cycles including fill/drain overhead."""
+        return self.mac_cycles + self.overhead_cycles
+
+
+class SystolicArray:
+    """A set of ``num_arrays`` square systolic arrays."""
+
+    def __init__(self, num_arrays: int, dim: int = 32) -> None:
+        self.num_arrays = num_arrays
+        self.dim = dim
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Peak multiply-accumulates per cycle across all arrays."""
+        return self.num_arrays * self.dim * self.dim
+
+    def flops_timing(self, flops: float) -> SystolicTiming:
+        """Cycles to execute ``flops`` floating point operations.
+
+        One MAC counts as two FLOPs.  The fill/drain overhead scales with
+        the number of array-sized tiles the workload decomposes into.
+        """
+        if flops <= 0:
+            return SystolicTiming(mac_cycles=0.0, overhead_cycles=0.0)
+        macs = flops / 2.0
+        mac_cycles = macs / (self.macs_per_cycle * _SUSTAINED_UTILIZATION)
+        num_tiles = max(macs / (self.dim * self.dim * self.dim), 1.0)
+        overhead = _FILL_OVERHEAD_CYCLES * num_tiles / self.num_arrays
+        return SystolicTiming(mac_cycles=mac_cycles, overhead_cycles=overhead)

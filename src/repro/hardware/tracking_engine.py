@@ -1,0 +1,74 @@
+"""Pose tracking engine: systolic array + lightweight GS array.
+
+Executes movement-adaptive tracking: the coarse pose estimation (conv /
+GRU workload) always runs on the systolic arrays; when the FC detection
+engine requests a fine-grained refinement, the lightweight GS array runs
+``IterT`` 3DGS iterations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.config import AgsHardwareConfig
+from repro.hardware.dram import DramModel
+from repro.hardware.gs_array import GsArray
+from repro.hardware.systolic import SystolicArray
+from repro.workloads import TrackingWorkload
+
+__all__ = ["TrackingTiming", "PoseTrackingEngine"]
+
+
+@dataclasses.dataclass
+class TrackingTiming:
+    """Latency breakdown of one frame's tracking."""
+
+    coarse_seconds: float
+    refine_seconds: float
+    dram_bytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Coarse estimation and refinement execute back-to-back."""
+        return self.coarse_seconds + self.refine_seconds
+
+
+class PoseTrackingEngine:
+    """Timing model of the pose tracking engine."""
+
+    def __init__(self, config: AgsHardwareConfig, dram: DramModel) -> None:
+        self.config = config
+        self.dram = dram
+        self.systolic = SystolicArray(config.num_systolic_arrays, config.systolic_dim)
+        self.gs_array = GsArray(
+            config.num_light_gpe_groups,
+            config.gpe_group_dim,
+            enable_scheduler=config.enable_gpe_scheduler,
+        )
+
+    def frame_timing(self, workload: TrackingWorkload) -> TrackingTiming:
+        """Latency of one frame's tracking workload."""
+        frequency = self.config.frequency_hz
+
+        coarse = self.systolic.flops_timing(workload.coarse_flops)
+        coarse_seconds = coarse.total_cycles / frequency
+
+        refine_seconds = 0.0
+        dram_bytes = 0.0
+        for render in workload.refine_renders:
+            timing = self.gs_array.iteration_timing(render)
+            compute_seconds = timing.total_cycles / frequency
+            memory_seconds = self.dram.access(
+                bytes_read=timing.dram_bytes * 0.7,
+                bytes_written=timing.dram_bytes * 0.3,
+                sequential_fraction=0.85,
+            )
+            # Compute and feature streaming overlap via double buffering.
+            refine_seconds += max(compute_seconds, memory_seconds)
+            dram_bytes += timing.dram_bytes
+
+        return TrackingTiming(
+            coarse_seconds=coarse_seconds,
+            refine_seconds=refine_seconds,
+            dram_bytes=dram_bytes,
+        )

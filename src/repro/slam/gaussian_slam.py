@@ -1,0 +1,200 @@
+"""Gaussian-SLAM-like backbone (used for the generality study, Fig. 23).
+
+Gaussian-SLAM differs from SplaTAM mainly in how it organizes the map:
+the scene is split into *sub-maps* that are frozen once the camera leaves
+them (preventing catastrophic forgetting), and the mapping loss adds a
+scale regularization term that keeps Gaussians from growing into elongated
+ellipsoids.  Tracking still optimizes the camera pose against the active
+sub-map with 3DGS gradients, so AGS's covisibility-driven optimizations
+apply unchanged — which is exactly the point of the paper's generality
+experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Intrinsics, Pose
+from repro.gaussians.model import GaussianModel
+from repro.slam.keyframes import KeyframeManager
+from repro.slam.mapper import GaussianMapper, MapperConfig
+from repro.slam.results import FrameResult, SlamResult
+from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
+from repro.workloads import FrameTrace, SequenceTrace, TrackingWorkload
+
+__all__ = ["GaussianSlamConfig", "GaussianSlam", "SubMap"]
+
+
+@dataclasses.dataclass
+class SubMap:
+    """One sub-map: a Gaussian model anchored at the pose that created it."""
+
+    anchor_pose: Pose
+    model: GaussianModel
+    frozen: bool = False
+    frame_indices: list[int] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussianSlamConfig:
+    """Configuration of the Gaussian-SLAM-like backbone."""
+
+    tracking_iterations: int = 24
+    mapping_iterations: int = 6
+    tracker: TrackerConfig = dataclasses.field(default_factory=TrackerConfig)
+    mapper: MapperConfig = dataclasses.field(default_factory=MapperConfig)
+    submap_translation_threshold: float = 0.6
+    submap_rotation_threshold_deg: float = 35.0
+    scale_regularization: float = 1e-3
+    keyframe_every: int = 4
+    max_keyframes: int = 6
+    anchor_first_pose_to_gt: bool = True
+    collect_trace: bool = True
+
+
+class GaussianSlam:
+    """Sub-map based 3DGS-SLAM backbone."""
+
+    def __init__(self, intrinsics: Intrinsics, config: GaussianSlamConfig | None = None) -> None:
+        self.intrinsics = intrinsics
+        self.config = config or GaussianSlamConfig()
+        tracker_config = dataclasses.replace(
+            self.config.tracker, num_iterations=self.config.tracking_iterations
+        )
+        mapper_config = dataclasses.replace(
+            self.config.mapper, num_iterations=self.config.mapping_iterations
+        )
+        self.tracker = GaussianPoseTracker(intrinsics, tracker_config)
+        self.mapper = GaussianMapper(intrinsics, mapper_config)
+        self.keyframes = KeyframeManager(
+            every_n=self.config.keyframe_every, max_keyframes=self.config.max_keyframes
+        )
+        self.submaps: list[SubMap] = []
+        self._pose_history: list[Pose] = []
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all state for a new sequence."""
+        self.submaps = []
+        self._pose_history = []
+        self.mapper.reset()
+        self.keyframes.reset()
+
+    @property
+    def active_submap(self) -> SubMap | None:
+        """The sub-map currently being extended."""
+        return self.submaps[-1] if self.submaps else None
+
+    def global_model(self) -> GaussianModel:
+        """Concatenate all sub-maps into one model (for evaluation)."""
+        if not self.submaps:
+            return GaussianModel.empty()
+        model = self.submaps[0].model
+        for submap in self.submaps[1:]:
+            model = model.extend(submap.model)
+        return model
+
+    def _needs_new_submap(self, pose: Pose) -> bool:
+        active = self.active_submap
+        if active is None:
+            return True
+        translation = pose.translation_distance_to(active.anchor_pose)
+        rotation = np.degrees(pose.rotation_angle_to(active.anchor_pose))
+        return (
+            translation > self.config.submap_translation_threshold
+            or rotation > self.config.submap_rotation_threshold_deg
+        )
+
+    def _apply_scale_regularization(self, model: GaussianModel) -> None:
+        """Shrink Gaussians toward isotropy (Gaussian-SLAM's scale loss)."""
+        weight = self.config.scale_regularization
+        if weight <= 0 or len(model) == 0:
+            return
+        mean_log_scale = model.log_scales.mean(axis=1, keepdims=True)
+        model.log_scales = (1.0 - weight) * model.log_scales + weight * mean_log_scale
+
+    # ------------------------------------------------------------------
+    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
+        """Run the backbone over a sequence."""
+        self.reset()
+        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
+        result = SlamResult(algorithm="gaussian-slam", sequence=sequence.name)
+        trace = SequenceTrace(
+            sequence=sequence.name,
+            algorithm="gaussian-slam",
+            width=self.intrinsics.width,
+            height=self.intrinsics.height,
+        )
+
+        for index in range(total):
+            frame = sequence[index]
+            # ---------------- Tracking against the active sub-map --------
+            if index == 0:
+                pose = frame.gt_pose.copy() if self.config.anchor_first_pose_to_gt else Pose.identity()
+                tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
+                tracking_loss, tracking_iterations = 0.0, 0
+            else:
+                initial = self.tracker.initial_guess(self._pose_history)
+                active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
+                outcome = self.tracker.track(
+                    active_model, frame.color, frame.depth, initial,
+                    collect_workload=self.config.collect_trace,
+                )
+                pose = outcome.pose
+                tracking_workload = outcome.workload
+                tracking_loss = outcome.final_loss
+                tracking_iterations = outcome.iterations_run
+            self._pose_history.append(pose.copy())
+
+            # ---------------- Sub-map management -------------------------
+            if self._needs_new_submap(pose):
+                if self.active_submap is not None:
+                    self.active_submap.frozen = True
+                self.submaps.append(
+                    SubMap(anchor_pose=pose.copy(), model=GaussianModel.empty())
+                )
+                self.keyframes.reset()
+
+            submap = self.active_submap
+            mapping_outcome = self.mapper.map_frame(
+                submap.model,
+                frame.color,
+                frame.depth,
+                pose,
+                keyframes=self.keyframes.mapping_views(),
+                collect_workload=self.config.collect_trace,
+            )
+            submap.model = mapping_outcome.model
+            self._apply_scale_regularization(submap.model)
+            submap.frame_indices.append(index)
+
+            if self.keyframes.should_add(index, pose):
+                self.keyframes.add(index, frame.color, frame.depth, pose)
+
+            result.frames.append(
+                FrameResult(
+                    frame_index=index,
+                    estimated_pose=pose.copy(),
+                    tracking_iterations=tracking_iterations,
+                    mapping_iterations=mapping_outcome.iterations_run,
+                    tracking_loss=tracking_loss,
+                    mapping_loss=mapping_outcome.final_loss,
+                    num_gaussians=len(self.global_model()),
+                )
+            )
+            trace.frames.append(
+                FrameTrace(
+                    frame_index=index,
+                    tracking=tracking_workload,
+                    mapping=mapping_outcome.workload,
+                    covisibility=None,
+                    num_gaussians=len(self.global_model()),
+                )
+            )
+
+        result.final_model = self.global_model()
+        if self.config.collect_trace:
+            result.trace = trace
+        return result

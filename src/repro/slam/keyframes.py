@@ -1,0 +1,92 @@
+"""Keyframe management for the baseline SLAM systems.
+
+The baseline (SplaTAM-like) system selects keyframes with simple
+heuristics — every N-th frame, or whenever the camera has moved far enough
+from the last keyframe — and keeps a bounded window of them for mapping.
+(AGS replaces this heuristic with covisibility-driven key / non-key frame
+designation, implemented in :mod:`repro.core.mapping`.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Pose
+
+__all__ = ["Keyframe", "KeyframeManager"]
+
+
+@dataclasses.dataclass
+class Keyframe:
+    """A stored keyframe: observation plus its estimated pose."""
+
+    frame_index: int
+    color: np.ndarray
+    depth: np.ndarray
+    pose: Pose
+
+
+class KeyframeManager:
+    """Selects and stores keyframes for mapping.
+
+    Args:
+        every_n: designate a keyframe at least every ``every_n`` frames.
+        min_translation: also designate a keyframe when the camera moved
+            more than this distance (meters) from the previous keyframe.
+        min_rotation_deg: or rotated by more than this angle (degrees).
+        max_keyframes: size of the sliding window of stored keyframes.
+    """
+
+    def __init__(
+        self,
+        every_n: int = 4,
+        min_translation: float = 0.15,
+        min_rotation_deg: float = 12.0,
+        max_keyframes: int = 8,
+    ) -> None:
+        self.every_n = every_n
+        self.min_translation = min_translation
+        self.min_rotation_deg = min_rotation_deg
+        self.max_keyframes = max_keyframes
+        self.keyframes: list[Keyframe] = []
+
+    def __len__(self) -> int:
+        return len(self.keyframes)
+
+    @property
+    def last(self) -> Keyframe | None:
+        """Return the most recent keyframe (None when empty)."""
+        return self.keyframes[-1] if self.keyframes else None
+
+    def should_add(self, frame_index: int, pose: Pose) -> bool:
+        """Decide whether the current frame becomes a keyframe."""
+        if not self.keyframes:
+            return True
+        last = self.keyframes[-1]
+        if frame_index - last.frame_index >= self.every_n:
+            return True
+        if pose.translation_distance_to(last.pose) >= self.min_translation:
+            return True
+        if np.degrees(pose.rotation_angle_to(last.pose)) >= self.min_rotation_deg:
+            return True
+        return False
+
+    def add(self, frame_index: int, color: np.ndarray, depth: np.ndarray, pose: Pose) -> Keyframe:
+        """Store a new keyframe, evicting the oldest if the window is full."""
+        keyframe = Keyframe(frame_index=frame_index, color=color, depth=depth, pose=pose.copy())
+        self.keyframes.append(keyframe)
+        if len(self.keyframes) > self.max_keyframes:
+            # Always keep the first keyframe (global anchor), evict the
+            # oldest of the rest.
+            self.keyframes.pop(1)
+        return keyframe
+
+    def mapping_views(self) -> list[tuple[np.ndarray, np.ndarray, Pose]]:
+        """Return the stored keyframes as mapper-compatible view tuples."""
+        return [(kf.color, kf.depth, kf.pose) for kf in self.keyframes]
+
+    def reset(self) -> None:
+        """Drop all stored keyframes."""
+        self.keyframes.clear()

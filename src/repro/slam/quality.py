@@ -1,0 +1,90 @@
+"""Mapping quality evaluation (PSNR / SSIM over a sequence).
+
+The paper reports mapping quality as the PSNR of images rendered from the
+final map at the estimated camera poses against the observed frames
+(Fig. 14, Table 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.loss import psnr, ssim
+from repro.gaussians.model import GaussianModel
+from repro.gaussians.rasterizer import render
+from repro.slam.results import SlamResult
+
+__all__ = ["MappingQualityReport", "evaluate_mapping_quality"]
+
+
+@dataclasses.dataclass
+class MappingQualityReport:
+    """Per-sequence mapping quality summary."""
+
+    sequence: str
+    algorithm: str
+    mean_psnr: float
+    mean_ssim: float
+    mean_depth_l1: float
+    per_frame_psnr: list[float]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience formatting
+        return (
+            f"{self.sequence}/{self.algorithm}: PSNR {self.mean_psnr:.2f} dB, "
+            f"SSIM {self.mean_ssim:.3f}, depth L1 {self.mean_depth_l1:.4f}"
+        )
+
+
+def evaluate_mapping_quality(
+    result: SlamResult,
+    sequence,
+    model: GaussianModel | None = None,
+    frame_stride: int = 1,
+    use_estimated_poses: bool = True,
+) -> MappingQualityReport:
+    """Render the final map at the trajectory poses and score against the frames.
+
+    Args:
+        result: the SLAM run (provides the estimated poses and, unless
+            ``model`` is given, the final map).
+        sequence: the dataset sequence the run was executed on.
+        model: override for the Gaussian map to evaluate.
+        frame_stride: evaluate every N-th frame.
+        use_estimated_poses: render from the estimated poses (True, the
+            honest protocol) or from the ground-truth poses.
+
+    Returns:
+        A :class:`MappingQualityReport`.
+    """
+    model = model if model is not None else result.final_model
+    if model is None or len(model) == 0:
+        return MappingQualityReport(
+            sequence=result.sequence, algorithm=result.algorithm,
+            mean_psnr=0.0, mean_ssim=0.0, mean_depth_l1=float("inf"), per_frame_psnr=[],
+        )
+
+    psnrs: list[float] = []
+    ssims: list[float] = []
+    depth_errors: list[float] = []
+    for frame_result in result.frames[::frame_stride]:
+        frame = sequence[frame_result.frame_index]
+        pose = frame_result.estimated_pose if use_estimated_poses else frame.gt_pose
+        camera = Camera(intrinsics=sequence.intrinsics, pose=pose)
+        rendered = render(model, camera, record_workloads=False)
+        psnrs.append(psnr(rendered.color, frame.color))
+        ssims.append(ssim(rendered.color, frame.color))
+        valid = frame.depth > 1e-6
+        if valid.any():
+            depth_errors.append(float(np.abs(rendered.depth - frame.depth)[valid].mean()))
+
+    return MappingQualityReport(
+        sequence=result.sequence,
+        algorithm=result.algorithm,
+        mean_psnr=float(np.mean(psnrs)) if psnrs else 0.0,
+        mean_ssim=float(np.mean(ssims)) if ssims else 0.0,
+        mean_depth_l1=float(np.mean(depth_errors)) if depth_errors else float("inf"),
+        per_frame_psnr=psnrs,
+    )

@@ -1,0 +1,114 @@
+"""Trajectory accuracy metrics: ATE RMSE and RPE.
+
+ATE (Absolute Trajectory Error) RMSE is the tracking-accuracy metric used
+throughout the paper (Table 2).  Following the TUM-RGBD benchmark tools,
+the estimated trajectory is first rigidly aligned to the ground truth with
+the Umeyama / Horn closed-form solution, then the RMS of the remaining
+translational errors is reported (in centimeters in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Pose
+
+__all__ = ["trajectory_positions", "align_trajectories", "ate_rmse", "rpe_rmse"]
+
+
+def trajectory_positions(poses: list[Pose]) -> np.ndarray:
+    """Return the (N, 3) camera centers of a pose list."""
+    return np.array([pose.camera_center for pose in poses])
+
+
+def _umeyama_alignment(
+    source: np.ndarray, target: np.ndarray, with_scale: bool = False
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Closed-form rigid (optionally similarity) alignment source -> target.
+
+    Returns ``(rotation, translation, scale)`` minimizing
+    ``|| target - (scale * rotation @ source + translation) ||``.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape:
+        raise ValueError(f"trajectory shapes differ: {source.shape} vs {target.shape}")
+    mu_source = source.mean(axis=0)
+    mu_target = target.mean(axis=0)
+    src_centered = source - mu_source
+    tgt_centered = target - mu_target
+    covariance = tgt_centered.T @ src_centered / len(source)
+    u, singular_values, vt = np.linalg.svd(covariance)
+    sign_fix = np.eye(3)
+    if np.linalg.det(u) * np.linalg.det(vt) < 0:
+        sign_fix[2, 2] = -1.0
+    rotation = u @ sign_fix @ vt
+    if with_scale:
+        variance = (src_centered**2).sum() / len(source)
+        scale = float(np.trace(np.diag(singular_values) @ sign_fix) / max(variance, 1e-12))
+    else:
+        scale = 1.0
+    translation = mu_target - scale * rotation @ mu_source
+    return rotation, translation, scale
+
+
+def align_trajectories(
+    estimated: list[Pose], ground_truth: list[Pose], with_scale: bool = False
+) -> np.ndarray:
+    """Align estimated camera centers to the ground truth.
+
+    Returns the aligned (N, 3) positions of the estimated trajectory.
+    """
+    est = trajectory_positions(estimated)
+    gt = trajectory_positions(ground_truth)
+    if len(est) < 3:
+        # Too short to align meaningfully; compare raw positions.
+        return est
+    rotation, translation, scale = _umeyama_alignment(est, gt, with_scale)
+    return (scale * (rotation @ est.T)).T + translation
+
+
+def ate_rmse(
+    estimated: list[Pose], ground_truth: list[Pose], align: bool = True, scale_to_cm: float = 100.0
+) -> float:
+    """Absolute trajectory error RMSE.
+
+    Args:
+        estimated: estimated world-to-camera poses.
+        ground_truth: ground-truth poses (same length).
+        align: rigidly align before computing the error (standard protocol).
+        scale_to_cm: multiply the metric-space error by this factor; the
+            default reports centimeters as in the paper.
+
+    Returns:
+        The RMSE of per-frame position errors.
+    """
+    if len(estimated) != len(ground_truth):
+        raise ValueError(
+            f"trajectory lengths differ: {len(estimated)} vs {len(ground_truth)}"
+        )
+    if not estimated:
+        return 0.0
+    gt = trajectory_positions(ground_truth)
+    est = align_trajectories(estimated, ground_truth) if align else trajectory_positions(estimated)
+    errors = np.linalg.norm(est - gt, axis=1)
+    return float(np.sqrt((errors**2).mean()) * scale_to_cm)
+
+
+def rpe_rmse(
+    estimated: list[Pose], ground_truth: list[Pose], delta: int = 1, scale_to_cm: float = 100.0
+) -> float:
+    """Relative pose error RMSE over frame pairs ``(i, i + delta)``."""
+    if len(estimated) != len(ground_truth):
+        raise ValueError(
+            f"trajectory lengths differ: {len(estimated)} vs {len(ground_truth)}"
+        )
+    errors = []
+    for i in range(len(estimated) - delta):
+        est_rel = estimated[i + delta].relative_to(estimated[i])
+        gt_rel = ground_truth[i + delta].relative_to(ground_truth[i])
+        errors.append(np.linalg.norm(est_rel.camera_center - gt_rel.camera_center))
+    if not errors:
+        return 0.0
+    errors = np.asarray(errors)
+    return float(np.sqrt((errors**2).mean()) * scale_to_cm)

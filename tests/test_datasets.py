@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SEQUENCE_SPECS,
+    SceneSpec,
+    TrajectorySpec,
+    available_sequences,
+    build_scene,
+    generate_trajectory,
+    load_sequence,
+    sequences_for_dataset,
+)
+from repro.datasets.registry import REPLICA_SEQUENCES, SCANNETPP_SEQUENCES, TUM_SEQUENCES
+from repro.datasets.trajectory import speed_profile
+
+
+def test_registry_contains_paper_sequences():
+    names = available_sequences()
+    for expected in ("desk", "desk2", "room", "xyz", "house", "room0", "office0", "s1", "s2"):
+        assert expected in names
+
+
+def test_dataset_families_partition_sequences():
+    assert set(TUM_SEQUENCES) == set(sequences_for_dataset("tum"))
+    assert set(REPLICA_SEQUENCES) == set(sequences_for_dataset("replica"))
+    assert set(SCANNETPP_SEQUENCES) == set(sequences_for_dataset("scannetpp"))
+
+
+def test_unknown_sequence_raises():
+    with pytest.raises(KeyError):
+        load_sequence("does-not-exist")
+
+
+def test_scene_builders_produce_gaussians():
+    for kind in ("room", "desk", "house", "office"):
+        scene = build_scene(SceneSpec(kind=kind, seed=1))
+        assert len(scene) > 50
+
+
+def test_unknown_scene_kind_raises():
+    with pytest.raises(ValueError):
+        build_scene(SceneSpec(kind="spaceship"))
+
+
+def test_scene_is_reproducible_by_seed():
+    a = build_scene(SceneSpec(kind="room", seed=7))
+    b = build_scene(SceneSpec(kind="room", seed=7))
+    assert np.allclose(a.means, b.means)
+
+
+def test_trajectory_kinds_and_length():
+    for kind in ("orbit", "sweep", "hover", "walk"):
+        poses = generate_trajectory(TrajectorySpec(kind=kind, num_frames=12, seed=2))
+        assert len(poses) == 12
+
+
+def test_unknown_trajectory_kind_raises():
+    with pytest.raises(ValueError):
+        generate_trajectory(TrajectorySpec(kind="teleport"))
+
+
+def test_speed_profile_has_bursts():
+    spec = TrajectorySpec(num_frames=60, burst_probability=0.25, burst_scale=4.0, seed=3)
+    profile = speed_profile(spec, np.random.default_rng(3))
+    assert profile.max() > 2.5 * profile.min()
+
+
+def test_hover_moves_less_than_walk():
+    hover = generate_trajectory(TrajectorySpec(kind="hover", num_frames=15, base_speed=0.004, seed=4))
+    walk = generate_trajectory(TrajectorySpec(kind="walk", num_frames=15, base_speed=0.01, seed=4))
+    hover_motion = np.mean([hover[i].translation_distance_to(hover[i + 1]) for i in range(14)])
+    walk_motion = np.mean([walk[i].translation_distance_to(walk[i + 1]) for i in range(14)])
+    assert hover_motion < walk_motion
+
+
+def test_sequence_frames_have_consistent_shapes(tiny_sequence):
+    frame = tiny_sequence[0]
+    spec = tiny_sequence.spec
+    assert frame.color.shape == (spec.height, spec.width, 3)
+    assert frame.depth.shape == (spec.height, spec.width)
+    assert frame.gray.shape == (spec.height, spec.width)
+    assert 0.0 <= frame.color.min() and frame.color.max() <= 1.0
+
+
+def test_sequence_depth_is_metric(tiny_sequence):
+    frame = tiny_sequence[0]
+    valid = frame.depth > 0
+    assert valid.mean() > 0.3
+    assert frame.depth[valid].max() < 20.0
+
+
+def test_sequence_negative_index_and_out_of_range(tiny_sequence):
+    assert tiny_sequence[-1].index == len(tiny_sequence) - 1
+    with pytest.raises(IndexError):
+        tiny_sequence[len(tiny_sequence)]
+
+
+def test_sequence_frames_are_cached(tiny_sequence):
+    assert tiny_sequence[0] is tiny_sequence[0]
+
+
+def test_sequence_iteration_and_slicing(tiny_sequence):
+    frames = list(tiny_sequence.frames(0, 4, 2))
+    assert [f.index for f in frames] == [0, 2]
+    assert len(list(iter(tiny_sequence))) == len(tiny_sequence)
+
+
+def test_ground_truth_trajectory_copies(tiny_sequence):
+    trajectory = tiny_sequence.ground_truth_trajectory()
+    trajectory[0].trans[0] += 10.0
+    assert tiny_sequence.poses[0].trans[0] != trajectory[0].trans[0]
+
+
+def test_load_sequence_overrides_frames_and_size():
+    sequence = load_sequence("xyz", num_frames=5, width=32, height=24)
+    assert len(sequence) == 5
+    assert sequence[0].color.shape == (24, 32, 3)
+
+
+def test_timestamps_follow_fps(tiny_sequence):
+    fps = tiny_sequence.spec.fps
+    assert np.isclose(tiny_sequence[2].timestamp - tiny_sequence[1].timestamp, 1.0 / fps)
+
+
+def test_replica_sequences_are_noise_free():
+    assert SEQUENCE_SPECS["room0"].noise_std == 0.0
+    assert SEQUENCE_SPECS["desk"].noise_std > 0.0

@@ -1,0 +1,97 @@
+"""Tests for the Gaussian parameter container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gaussians.model import GaussianModel
+
+
+def test_empty_model_has_zero_length():
+    assert len(GaussianModel.empty()) == 0
+
+
+def test_from_points_shapes_and_clipping():
+    points = np.random.default_rng(0).normal(size=(10, 3))
+    colors = np.linspace(-0.5, 1.5, 30).reshape(10, 3)
+    model = GaussianModel.from_points(points, colors)
+    assert len(model) == 10
+    assert model.colors.min() >= 0.0 and model.colors.max() <= 1.0
+    assert model.quats.shape == (10, 4)
+
+
+def test_random_model_is_reproducible():
+    a = GaussianModel.random(20, seed=5)
+    b = GaussianModel.random(20, seed=5)
+    assert np.allclose(a.means, b.means)
+    assert np.allclose(a.colors, b.colors)
+
+
+def test_inconsistent_lengths_raise():
+    with pytest.raises(ValueError):
+        GaussianModel(
+            means=np.zeros((3, 3)),
+            log_scales=np.zeros((2, 3)),
+            quats=np.tile([1.0, 0, 0, 0], (3, 1)),
+            opacities=np.zeros(3),
+            colors=np.zeros((3, 3)),
+        )
+
+
+def test_alphas_are_sigmoid_of_opacities():
+    model = GaussianModel.random(5, seed=1)
+    assert np.allclose(model.alphas, 1.0 / (1.0 + np.exp(-model.opacities)))
+    assert (model.alphas > 0).all() and (model.alphas < 1).all()
+
+
+def test_scales_are_exp_of_log_scales():
+    model = GaussianModel.random(5, seed=2)
+    assert np.allclose(model.scales, np.exp(model.log_scales))
+
+
+def test_covariances_are_symmetric_positive_semidefinite():
+    model = GaussianModel.random(10, seed=3)
+    covs = model.covariances()
+    for cov in covs:
+        assert np.allclose(cov, cov.T)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert (eigenvalues >= -1e-12).all()
+
+
+def test_subset_and_extend_roundtrip():
+    model = GaussianModel.random(12, seed=4)
+    front = model.subset(np.arange(5))
+    back = model.subset(np.arange(5, 12))
+    rebuilt = front.extend(back)
+    assert len(rebuilt) == len(model)
+    assert np.allclose(rebuilt.means, model.means)
+
+
+def test_copy_is_independent():
+    model = GaussianModel.random(4, seed=5)
+    clone = model.copy()
+    clone.means[0, 0] += 1.0
+    assert model.means[0, 0] != clone.means[0, 0]
+
+
+def test_parameters_and_set_parameters_roundtrip():
+    model = GaussianModel.random(6, seed=6)
+    params = {name: value * 2.0 for name, value in model.parameters().items()}
+    model.set_parameters(params)
+    assert np.allclose(model.means, params["means"])
+    assert np.allclose(model.opacities, params["opacities"])
+
+
+def test_normalize_quaternions_in_place():
+    model = GaussianModel.random(6, seed=7)
+    model.quats = model.quats * 3.0
+    model.normalize_quaternions()
+    assert np.allclose(np.linalg.norm(model.quats, axis=1), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=30))
+def test_random_model_length_property(count):
+    model = GaussianModel.random(count, seed=0)
+    assert len(model) == count
+    assert model.covariances().shape == (count, 3, 3)

@@ -1,0 +1,142 @@
+"""Tests for projection, tile assignment and depth sorting."""
+
+import numpy as np
+
+from repro.gaussians import Camera, GaussianModel, Intrinsics, Pose
+from repro.gaussians.projection import batch_quat_to_rotmat, project_gaussians
+from repro.gaussians.sorting import (
+    argsort_by_depth,
+    bucket_sort_depths,
+    is_sorted_by_depth,
+    merge_sorted_tables,
+)
+from repro.gaussians.tiles import assign_tiles, build_tile_grid
+from repro.gaussians.camera import quat_to_rotmat
+
+
+def _frontal_model(count=50, seed=0, depth=3.0):
+    model = GaussianModel.random(count, extent=1.0, seed=seed)
+    model.means[:, 2] += depth
+    return model
+
+
+def _camera(width=48, height=36):
+    return Camera(Intrinsics.from_fov(width, height, 60.0), Pose.identity())
+
+
+def test_batch_quat_to_rotmat_matches_scalar():
+    quats = np.random.default_rng(0).normal(size=(10, 4))
+    batch = batch_quat_to_rotmat(quats)
+    for i in range(10):
+        assert np.allclose(batch[i], quat_to_rotmat(quats[i]), atol=1e-12)
+
+
+def test_projection_depths_match_camera_space_z():
+    model = _frontal_model()
+    camera = _camera()
+    projection = project_gaussians(model, camera)
+    cam_points = camera.pose.transform(model.means)
+    assert np.allclose(projection.depths, cam_points[:, 2])
+
+
+def test_projection_center_gaussian_lands_at_principal_point():
+    model = GaussianModel.from_points(np.array([[0.0, 0.0, 2.0]]), np.array([[1.0, 0, 0]]))
+    camera = _camera()
+    projection = project_gaussians(model, camera)
+    assert np.allclose(projection.means2d[0], [camera.intrinsics.cx, camera.intrinsics.cy])
+
+
+def test_projection_culls_behind_camera():
+    model = GaussianModel.from_points(
+        np.array([[0.0, 0.0, 2.0], [0.0, 0.0, -2.0]]), np.ones((2, 3)) * 0.5
+    )
+    projection = project_gaussians(model, _camera())
+    assert projection.visible[0]
+    assert not projection.visible[1]
+
+
+def test_projection_culls_far_offscreen():
+    model = GaussianModel.from_points(
+        np.array([[100.0, 0.0, 2.0], [0.0, 0.0, 2.0]]), np.ones((2, 3)) * 0.5
+    )
+    projection = project_gaussians(model, _camera())
+    assert not projection.visible[0]
+    assert projection.visible[1]
+
+
+def test_projection_covariance_is_positive_definite():
+    model = _frontal_model(30, seed=1)
+    projection = project_gaussians(model, _camera())
+    determinants = np.linalg.det(projection.cov2d[projection.visible])
+    assert (determinants > 0).all()
+
+
+def test_conics_are_inverse_of_cov2d():
+    model = _frontal_model(20, seed=2)
+    projection = project_gaussians(model, _camera())
+    for index in np.nonzero(projection.visible)[0][:10]:
+        product = projection.cov2d[index] @ projection.conics[index]
+        assert np.allclose(product, np.eye(2), atol=1e-6)
+
+
+def test_larger_scale_gives_larger_radius():
+    small = GaussianModel.from_points(np.array([[0.0, 0.0, 2.0]]), np.ones((1, 3)) * 0.5, scale=0.02)
+    large = GaussianModel.from_points(np.array([[0.0, 0.0, 2.0]]), np.ones((1, 3)) * 0.5, scale=0.3)
+    camera = _camera()
+    assert (
+        project_gaussians(large, camera).radii[0] > project_gaussians(small, camera).radii[0]
+    )
+
+
+def test_build_tile_grid_dimensions():
+    assert build_tile_grid(64, 48, 8) == (8, 6)
+    assert build_tile_grid(65, 48, 8) == (9, 6)
+
+
+def test_assign_tiles_tables_are_depth_sorted():
+    model = _frontal_model(80, seed=3)
+    camera = _camera()
+    projection = project_gaussians(model, camera)
+    grid = assign_tiles(projection, camera.width, camera.height)
+    assert len(grid) == grid.tiles_x * grid.tiles_y
+    for table in grid.tables:
+        assert is_sorted_by_depth(table.depths)
+
+
+def test_assign_tiles_only_visible_gaussians():
+    model = _frontal_model(40, seed=4)
+    model.means[:10, 2] = -5.0  # behind the camera
+    camera = _camera()
+    projection = project_gaussians(model, camera)
+    grid = assign_tiles(projection, camera.width, camera.height)
+    listed = np.concatenate([t.gaussian_ids for t in grid.tables if len(t)])
+    assert not np.isin(np.arange(10), listed).any()
+
+
+def test_tile_grid_occupancy_and_assignments_consistent():
+    model = _frontal_model(60, seed=5)
+    camera = _camera()
+    grid = assign_tiles(project_gaussians(model, camera), camera.width, camera.height)
+    assert grid.occupancy().sum() == grid.total_assignments()
+
+
+def test_argsort_by_depth_orders_ascending():
+    depths = np.array([3.0, 1.0, 2.0])
+    assert list(argsort_by_depth(depths)) == [1, 2, 0]
+
+
+def test_merge_sorted_tables_stays_sorted():
+    ids_a, depths_a = np.array([1, 2]), np.array([0.5, 2.0])
+    ids_b, depths_b = np.array([3, 4]), np.array([1.0, 3.0])
+    merged_ids, merged_depths = merge_sorted_tables(ids_a, depths_a, ids_b, depths_b)
+    assert is_sorted_by_depth(merged_depths)
+    assert set(merged_ids) == {1, 2, 3, 4}
+
+
+def test_bucket_sort_is_coarsely_ordered():
+    rng = np.random.default_rng(6)
+    depths = rng.uniform(0, 10, size=100)
+    order = bucket_sort_depths(depths, num_buckets=10)
+    bucketed = depths[order]
+    # Bucket ordering guarantees coarse monotonicity within one bucket width.
+    assert (np.diff(bucketed) > -1.0).all()

@@ -1,0 +1,108 @@
+"""Tests for the forward rasterizer."""
+
+import numpy as np
+
+from repro.gaussians import Camera, GaussianModel, Intrinsics, Pose, render
+from repro.gaussians.rasterizer import ALPHA_MAX, ALPHA_MIN, TRANSMITTANCE_EPS
+
+
+def _camera(width=48, height=36):
+    return Camera(Intrinsics.from_fov(width, height, 60.0), Pose.identity())
+
+
+def test_render_empty_model_is_black(small_camera):
+    result = render(GaussianModel.empty(), small_camera)
+    assert np.allclose(result.color, 0.0)
+    assert np.allclose(result.final_transmittance, 1.0)
+
+
+def test_render_output_shapes(small_render, small_camera):
+    height, width = small_camera.height, small_camera.width
+    assert small_render.color.shape == (height, width, 3)
+    assert small_render.depth.shape == (height, width)
+    assert small_render.silhouette.shape == (height, width)
+
+
+def test_render_color_in_unit_range(small_render):
+    assert small_render.color.min() >= 0.0
+    assert small_render.color.max() <= 1.0 + 1e-9
+
+
+def test_silhouette_plus_transmittance_close_to_one(small_render):
+    # Accumulated opacity + remaining transmittance should approximately
+    # partition unity (exactly, up to the early-termination epsilon).
+    total = small_render.silhouette + small_render.final_transmittance
+    assert (total <= 1.0 + 1e-6).all()
+    assert (total >= 1.0 - 10 * TRANSMITTANCE_EPS - 0.05).all()
+
+
+def test_opaque_gaussian_dominates_pixel_color():
+    model = GaussianModel.from_points(
+        np.array([[0.0, 0.0, 2.0]]), np.array([[1.0, 0.0, 0.0]]), scale=0.4, opacity=0.99
+    )
+    camera = _camera()
+    result = render(model, camera)
+    cy, cx = camera.height // 2, camera.width // 2
+    assert result.color[cy, cx, 0] > 0.8
+    assert result.color[cy, cx, 1] < 0.1
+
+
+def test_depth_ordering_front_gaussian_wins():
+    model = GaussianModel.from_points(
+        np.array([[0.0, 0.0, 1.5], [0.0, 0.0, 3.0]]),
+        np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]]),
+        scale=0.4,
+        opacity=0.99,
+    )
+    camera = _camera()
+    result = render(model, camera)
+    cy, cx = camera.height // 2, camera.width // 2
+    assert result.color[cy, cx, 1] > result.color[cy, cx, 0]
+    assert abs(result.depth[cy, cx] - 1.5) < 0.2
+
+
+def test_active_mask_skips_gaussians():
+    model = GaussianModel.from_points(
+        np.array([[0.0, 0.0, 2.0], [0.3, 0.0, 2.0]]),
+        np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]),
+        scale=0.3,
+        opacity=0.95,
+    )
+    camera = _camera()
+    full = render(model, camera)
+    masked = render(model, camera, active_mask=np.array([True, False]))
+    assert masked.color[..., 2].max() < full.color[..., 2].max()
+    assert masked.total_pairs_computed < full.total_pairs_computed
+
+
+def test_workload_statistics_are_consistent(small_render, small_model):
+    assert small_render.total_pairs_blended <= small_render.total_pairs_computed
+    assert len(small_render.tile_workloads) == len(small_render.tile_grid.tables)
+    assert small_render.gaussian_pixels_touched.shape == (len(small_model),)
+    assert (
+        small_render.gaussian_noncontrib_pixels <= small_render.gaussian_pixels_touched
+    ).all()
+
+
+def test_contribution_threshold_monotonicity(small_model, small_camera):
+    loose = render(small_model, small_camera, contribution_threshold=ALPHA_MIN)
+    strict = render(small_model, small_camera, contribution_threshold=0.5)
+    assert (strict.gaussian_noncontrib_pixels >= loose.gaussian_noncontrib_pixels).all()
+
+
+def test_max_alpha_below_clamp(small_render):
+    assert small_render.gaussian_max_alpha.max() <= ALPHA_MAX + 1e-9
+
+
+def test_reusing_projection_gives_identical_image(small_model, small_camera):
+    first = render(small_model, small_camera)
+    second = render(
+        small_model, small_camera, projection=first.projection, tile_grid=first.tile_grid
+    )
+    assert np.allclose(first.color, second.color)
+
+
+def test_render_is_deterministic(small_model, small_camera):
+    a = render(small_model, small_camera)
+    b = render(small_model, small_camera)
+    assert np.array_equal(a.color, b.color)

@@ -1,0 +1,92 @@
+"""Tests for workload traces and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.eval.report import geomean
+from repro.eval.runner import EvalSettings, collect_platform_results, run_slam
+from repro.eval import experiments
+from repro.workloads import MappingWorkload, RenderWorkload, TrackingWorkload
+
+
+SMALL = EvalSettings(num_frames=5, sequences=("desk",))
+
+
+def test_render_workload_from_result(small_render):
+    workload = RenderWorkload.from_result(small_render, includes_backward=True)
+    assert workload.pairs_computed == small_render.total_pairs_computed
+    assert workload.includes_backward
+    assert workload.num_pixels == small_render.color.shape[0] * small_render.color.shape[1]
+
+
+def test_tracking_and_mapping_workload_totals():
+    render_a = RenderWorkload(
+        num_gaussians=10, gaussians_rendered=20, pairs_computed=100, pairs_blended=40,
+        num_tiles=4, num_pixels=64, per_tile_gaussians=np.array([5, 5, 5, 5]),
+        per_pixel_mean=1.0, per_pixel_max=2.0,
+    )
+    tracking = TrackingWorkload(coarse_flops=10.0, refine_iterations=2, refine_renders=[render_a, render_a])
+    mapping = MappingWorkload(iterations=1, renders=[render_a], gaussians_skipped=3, gaussians_considered=10)
+    assert tracking.total_pairs == 200
+    assert mapping.total_pairs == 100
+    assert mapping.skip_fraction == pytest.approx(0.3)
+
+
+def test_geomean_and_format_table():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    table = format_table(["a", "b"], [["x", 1.2345], ["y", 2]], title="t")
+    assert "x" in table and "t" in table
+
+
+def test_run_slam_is_cached():
+    first = run_slam("splatam", "desk", num_frames=4, tracking_iterations=4, mapping_iterations=2)
+    second = run_slam("splatam", "desk", num_frames=4, tracking_iterations=4, mapping_iterations=2)
+    assert first is second
+
+
+def test_run_slam_unknown_algorithm():
+    with pytest.raises(ValueError):
+        run_slam("magic", "desk")
+
+
+def test_collect_platform_results_keys():
+    baseline = run_slam("splatam", "desk", num_frames=4, tracking_iterations=4, mapping_iterations=2)
+    ags = run_slam("ags", "desk", num_frames=4, tracking_iterations=4, mapping_iterations=2, iter_t=2)
+    platforms = collect_platform_results(baseline, ags)
+    assert set(platforms) == {
+        "GPU-Server", "GPU-Edge", "GSCore-Server", "GSCore-Edge", "AGS-Server", "AGS-Edge",
+    }
+    assert platforms["AGS-Server"].total_seconds > 0
+
+
+def test_table3_area_experiment():
+    data = experiments.table3_area()
+    assert data["edge"]["total_mm2"] < data["server"]["total_mm2"]
+    assert len(data["edge"]["rows"]) == len(data["server"]["rows"])
+
+
+def test_fig22_covisibility_levels_sums_to_100():
+    data = experiments.fig22_covisibility_levels(SMALL)
+    for row in data["rows"].values():
+        assert row["high_pct"] + row["medium_pct"] + row["low_pct"] == pytest.approx(100.0)
+
+
+def test_table2_experiment_structure():
+    data = experiments.table2_tracking_accuracy(SMALL)
+    assert set(data["rows"]) == {"desk"}
+    assert set(data["rows"]["desk"]) == {"splatam", "ags", "orb"}
+    assert all(value >= 0 for value in data["rows"]["desk"].values())
+
+
+def test_fig15_speedup_experiment_structure():
+    data = experiments.fig15_speedup(SMALL)
+    assert data["geomean_server"]["AGS-Server"] > 1.0
+    assert data["geomean_edge"]["AGS-Edge"] > 1.0
+
+
+def test_fig3_breakdown_tracking_dominates():
+    data = experiments.fig3_time_breakdown(SMALL)
+    row = data["rows"]["desk"]
+    assert row["tracking_share"] > 0.5
