@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Hot-path perf gate: re-measure the motion-estimation and rasterizer
+# micro-benchmarks and update BENCH_hotpaths.json at the repo root.
+#
+# If a gated hot-path timing regressed by more than 20% against the
+# committed BENCH_hotpaths.json, the script exits non-zero and leaves the
+# previous file untouched — wire it into CI so perf regressions fail PRs.
+#
+# Usage: scripts/bench_speed.sh [extra bench_speed_hotpaths.py args]
+#   e.g. scripts/bench_speed.sh --max-regression 0.1
+#        scripts/bench_speed.sh --repeats 9
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_speed_hotpaths.py --gate "$@"

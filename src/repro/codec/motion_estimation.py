@@ -5,6 +5,17 @@ window of the previous frame for the most similar block, measured by the
 Sum of Absolute Differences (SAD).  The minimum SAD per macro-block is the
 quantity AGS extracts from the CODEC: summed over the frame it measures
 how much image content changed, i.e. the (inverse of) frame covisibility.
+
+Two interchangeable backends are provided (``backend=`` argument of
+:func:`motion_estimate`):
+
+* ``"vectorized"`` (default) — batched NumPy search over all blocks and
+  candidates at once (:mod:`repro.codec.motion_search`), the hot-path
+  implementation.
+* ``"reference"`` — the original scalar per-block loop, kept as the
+  readable specification and as the equivalence oracle for tests.
+
+Both return identical SADs, motion vectors and ``sad_evaluations``.
 """
 
 from __future__ import annotations
@@ -21,12 +32,16 @@ __all__ = [
     "full_search",
     "diamond_search",
     "motion_estimate",
+    "SEARCH_METHODS",
+    "SEARCH_BACKENDS",
 ]
 
 # Pixel values are treated as 8-bit for SAD so the magnitudes match what a
 # hardware encoder would report.
 PIXEL_SCALE = 255.0
 DEFAULT_SEARCH_RANGE = 4
+SEARCH_METHODS = ("full", "diamond")
+SEARCH_BACKENDS = ("vectorized", "reference")
 
 
 def sad(block_a: np.ndarray, block_b: np.ndarray) -> float:
@@ -177,6 +192,7 @@ def motion_estimate(
     block_size: int = MACROBLOCK_SIZE,
     search_range: int = DEFAULT_SEARCH_RANGE,
     method: str = "full",
+    backend: str = "vectorized",
 ) -> MotionEstimationResult:
     """Run block-matching motion estimation between two grayscale frames.
 
@@ -186,10 +202,18 @@ def motion_estimate(
         block_size: macro-block edge length.
         search_range: maximum displacement searched in each direction.
         method: ``"full"`` or ``"diamond"``.
+        backend: ``"vectorized"`` (batched hot path) or ``"reference"``
+            (scalar per-block loop).  Results are identical.
 
     Returns:
         A :class:`MotionEstimationResult` with per-block minimum SADs.
     """
+    # Validate the configuration before any work happens.
+    if method not in SEARCH_METHODS:
+        raise ValueError(f"unknown search method '{method}' (expected one of {SEARCH_METHODS})")
+    if backend not in SEARCH_BACKENDS:
+        raise ValueError(f"unknown backend '{backend}' (expected one of {SEARCH_BACKENDS})")
+
     current = np.asarray(current, dtype=np.float64)
     previous = np.asarray(previous, dtype=np.float64)
     if current.shape != previous.shape:
@@ -205,27 +229,31 @@ def motion_estimate(
     if pad_x or pad_y:
         padded_prev = np.pad(previous, ((0, pad_y), (0, pad_x)), mode="edge")
 
-    search_fn = full_search if method == "full" else diamond_search
-    if method not in ("full", "diamond"):
-        raise ValueError(f"unknown search method '{method}'")
+    if backend == "vectorized":
+        from repro.codec.motion_search import diamond_search_batched, full_search_batched
 
-    min_sads = np.zeros((grid.blocks_y, grid.blocks_x))
-    motion_vectors = np.zeros((grid.blocks_y, grid.blocks_x, 2), dtype=np.int64)
-    evaluations = 0
-    for by in range(grid.blocks_y):
-        for bx in range(grid.blocks_x):
-            block = grid.blocks[by, bx]
-            origin_x, origin_y = grid.origins[by, bx]
-            best_sad, best_mv, evals = search_fn(
-                padded_prev, block, int(origin_x), int(origin_y), search_range
-            )
-            min_sads[by, bx] = best_sad
-            motion_vectors[by, bx] = best_mv
-            evaluations += evals
+        batched_fn = full_search_batched if method == "full" else diamond_search_batched
+        min_sads, motion_vectors, evaluations = batched_fn(padded_prev, grid, search_range)
+        motion_vectors = motion_vectors.astype(np.int64, copy=False)
+    else:
+        search_fn = full_search if method == "full" else diamond_search
+        min_sads = np.zeros((grid.blocks_y, grid.blocks_x))
+        motion_vectors = np.zeros((grid.blocks_y, grid.blocks_x, 2), dtype=np.int64)
+        evaluations = 0
+        for by in range(grid.blocks_y):
+            for bx in range(grid.blocks_x):
+                block = grid.blocks[by, bx]
+                origin_x, origin_y = grid.origins[by, bx]
+                best_sad, best_mv, evals = search_fn(
+                    padded_prev, block, int(origin_x), int(origin_y), search_range
+                )
+                min_sads[by, bx] = best_sad
+                motion_vectors[by, bx] = best_mv
+                evaluations += evals
 
     return MotionEstimationResult(
         block_size=block_size,
         min_sads=min_sads,
         motion_vectors=motion_vectors,
-        sad_evaluations=evaluations,
+        sad_evaluations=int(evaluations),
     )

@@ -25,6 +25,7 @@ from repro.core.mapping import ContributionAwareMapper
 from repro.core.tracking import MovementAdaptiveTracker
 from repro.gaussians.camera import Intrinsics
 from repro.gaussians.model import GaussianModel
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import MapperConfig
 from repro.slam.results import FrameResult, SlamResult
@@ -48,6 +49,7 @@ class AgsSlam:
         keyframe_window: int = 8,
         anchor_first_pose_to_gt: bool = True,
         collect_trace: bool = True,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self.intrinsics = intrinsics
         self.config = config or AGSConfig()
@@ -62,6 +64,7 @@ class AgsSlam:
         self.keyframes = KeyframeManager(max_keyframes=keyframe_window)
         self.anchor_first_pose_to_gt = anchor_first_pose_to_gt
         self.collect_trace = collect_trace
+        self.perf = perf or NULL_RECORDER
         self.model = GaussianModel.empty()
         self._prev_frame = None
         self._prev_pose = None
@@ -103,15 +106,18 @@ class AgsSlam:
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
         """Process one frame through FC detection, tracking and mapping."""
         gray = frame.gray
+        perf = self.perf
 
         # -------- Step 1: CODEC-assisted frame covisibility detection ----
-        tracking_measurement = self.covisibility.observe(index, gray)
-        mapping_measurement = self.covisibility.compare_with_keyframe(gray)
+        with perf.section("ags/covisibility"):
+            tracking_measurement = self.covisibility.observe(index, gray)
+            mapping_measurement = self.covisibility.compare_with_keyframe(gray)
         tracking_cov = tracking_measurement.value if tracking_measurement else None
         mapping_cov = mapping_measurement.value if mapping_measurement else None
         sad_evaluations = (tracking_measurement.sad_evaluations if tracking_measurement else 0) + (
             mapping_measurement.sad_evaluations if mapping_measurement else 0
         )
+        perf.count("codec.sad_evaluations", sad_evaluations)
 
         # -------- Step 2: movement-adaptive tracking ----------------------
         if index == 0 or self._prev_frame is None:
@@ -125,35 +131,41 @@ class AgsSlam:
             refine_iterations = 0
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
         else:
-            outcome = self.tracking.track(
-                self.model,
-                self._prev_frame.gray,
-                self._prev_frame.depth,
-                self._prev_pose,
-                frame.color,
-                frame.depth,
-                gray,
-                covisibility=tracking_cov,
-                collect_workload=self.collect_trace,
-            )
+            with perf.section("ags/tracking"):
+                outcome = self.tracking.track(
+                    self.model,
+                    self._prev_frame.gray,
+                    self._prev_frame.depth,
+                    self._prev_pose,
+                    frame.color,
+                    frame.depth,
+                    gray,
+                    covisibility=tracking_cov,
+                    collect_workload=self.collect_trace,
+                )
             pose = outcome.pose
             used_coarse_only = outcome.used_coarse_only
             tracking_loss = outcome.tracking_loss
             refine_iterations = outcome.refine_iterations
             tracking_workload = outcome.workload
+        perf.count("tracking.refine_iterations", refine_iterations)
 
         # -------- Step 3: Gaussian contribution-aware mapping -------------
-        mapping_outcome = self.mapping.map_frame(
-            self.model,
-            index,
-            frame.color,
-            frame.depth,
-            pose,
-            covisibility_with_keyframe=mapping_cov,
-            keyframes=self.keyframes.mapping_views(),
-            collect_workload=self.collect_trace,
-        )
+        with perf.section("ags/mapping"):
+            mapping_outcome = self.mapping.map_frame(
+                self.model,
+                index,
+                frame.color,
+                frame.depth,
+                pose,
+                covisibility_with_keyframe=mapping_cov,
+                keyframes=self.keyframes.mapping_views(),
+                collect_workload=self.collect_trace,
+            )
         self.model = mapping_outcome.model
+        perf.count("frames.processed")
+        perf.count("mapping.iterations", mapping_outcome.mapping.iterations_run)
+        perf.count("mapping.gaussians_skipped", mapping_outcome.gaussians_skipped)
         if mapping_outcome.is_keyframe:
             self.covisibility.register_keyframe(index, gray)
             self.keyframes.add(index, frame.color, frame.depth, pose)

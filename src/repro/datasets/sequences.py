@@ -127,7 +127,7 @@ class SyntheticSequence:
 
     def _render_frame(self, index: int) -> RGBDFrame:
         camera = self.camera_at(index)
-        result = render(self.scene, camera, record_workloads=False)
+        result = render(self.scene, camera, record_workloads=False, record_contributions=False)
         color = result.color
         # The rasterizer's depth channel is the alpha-weighted expected
         # depth; dividing by the accumulated opacity recovers metric depth.

@@ -220,7 +220,7 @@ def fig5_contribution_breakdown(settings: EvalSettings = DEFAULT_SETTINGS) -> di
         sequence = load_sequence(name, num_frames=settings.num_frames)
         model = baseline.final_model
         camera = Camera(sequence.intrinsics, baseline.frames[-1].estimated_pose)
-        result = render(model, camera, record_workloads=False)
+        result = render(model, camera, record_workloads=False, record_contributions=False)
         total, noncontrib = 0, 0
         for table in result.tile_grid.tables:
             if len(table) == 0:

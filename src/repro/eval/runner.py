@@ -3,6 +3,11 @@
 Running the NumPy SLAM systems is the expensive part of every experiment,
 so runs are cached by (algorithm, sequence, configuration) for the
 lifetime of the process; all experiments and benchmarks share the cache.
+
+Every uncached run records wall-clock sections and op counters into the
+process-wide :func:`repro.perf.global_recorder` (under
+``eval/<algorithm>/<sequence>``), which the speed benchmarks serialize
+into the repo's ``BENCH_*.json`` perf-trajectory files.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.hardware import (
     JETSON_XAVIER,
     NVIDIA_A100,
 )
+from repro.perf import global_recorder
 from repro.slam import GaussianSlam, GaussianSlamConfig, OrbLiteSlam, SplaTam, SplaTamConfig
 from repro.workloads import scale_trace
 
@@ -82,52 +88,62 @@ def run_slam(
     Returns:
         The :class:`repro.slam.results.SlamResult` of the run.
     """
+    known = ("splatam", "gaussian-slam", "orb", "ags", "ags-gaussian-slam", "droid-splatam")
+    if algorithm not in known:
+        raise ValueError(f"unknown algorithm '{algorithm}'")
     sequence = load_sequence(sequence_name, num_frames=num_frames)
-    if algorithm == "splatam":
-        system = SplaTam(
-            sequence.intrinsics,
-            SplaTamConfig(
-                tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
-            ),
-        )
-        return system.run(sequence, num_frames=num_frames)
-    if algorithm == "gaussian-slam":
-        system = GaussianSlam(
-            sequence.intrinsics,
-            GaussianSlamConfig(
-                tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
-            ),
-        )
-        return system.run(sequence, num_frames=num_frames)
-    if algorithm == "orb":
-        system = OrbLiteSlam(sequence.intrinsics)
-        return system.run(sequence, num_frames=num_frames)
-    if algorithm in ("ags", "ags-gaussian-slam"):
-        config = AGSConfig(
-            iter_t=iter_t,
-            thresh_m=thresh_m,
-            thresh_n=thresh_n,
-            baseline_tracking_iterations=tracking_iterations,
-            enable_movement_adaptive_tracking=enable_mat,
-            enable_contribution_mapping=enable_gcm,
-        )
-        system = AgsSlam(sequence.intrinsics, config, mapping_iterations=mapping_iterations)
-        return system.run(sequence, num_frames=num_frames)
-    if algorithm == "droid-splatam":
-        # Direct integration of the coarse tracker with SplaTAM mapping:
-        # every frame keeps the coarse pose (thresh_t below any possible
-        # covisibility disables refinement) and runs full mapping.
-        config = AGSConfig(
-            thresh_t=-1.0,
-            iter_t=0,
-            baseline_tracking_iterations=tracking_iterations,
-            enable_contribution_mapping=False,
-        )
-        system = AgsSlam(sequence.intrinsics, config, mapping_iterations=mapping_iterations)
-        result = system.run(sequence, num_frames=num_frames)
-        result.algorithm = "droid-splatam"
-        return result
-    raise ValueError(f"unknown algorithm '{algorithm}'")
+    perf = global_recorder()
+    with perf.section(f"eval/{algorithm}/{sequence_name}"):
+        if algorithm == "splatam":
+            system = SplaTam(
+                sequence.intrinsics,
+                SplaTamConfig(
+                    tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
+                ),
+                perf=perf,
+            )
+            return system.run(sequence, num_frames=num_frames)
+        if algorithm == "gaussian-slam":
+            system = GaussianSlam(
+                sequence.intrinsics,
+                GaussianSlamConfig(
+                    tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
+                ),
+            )
+            return system.run(sequence, num_frames=num_frames)
+        if algorithm == "orb":
+            system = OrbLiteSlam(sequence.intrinsics)
+            return system.run(sequence, num_frames=num_frames)
+        if algorithm in ("ags", "ags-gaussian-slam"):
+            config = AGSConfig(
+                iter_t=iter_t,
+                thresh_m=thresh_m,
+                thresh_n=thresh_n,
+                baseline_tracking_iterations=tracking_iterations,
+                enable_movement_adaptive_tracking=enable_mat,
+                enable_contribution_mapping=enable_gcm,
+            )
+            system = AgsSlam(
+                sequence.intrinsics, config, mapping_iterations=mapping_iterations, perf=perf
+            )
+            return system.run(sequence, num_frames=num_frames)
+        if algorithm == "droid-splatam":
+            # Direct integration of the coarse tracker with SplaTAM mapping:
+            # every frame keeps the coarse pose (thresh_t below any possible
+            # covisibility disables refinement) and runs full mapping.
+            config = AGSConfig(
+                thresh_t=-1.0,
+                iter_t=0,
+                baseline_tracking_iterations=tracking_iterations,
+                enable_contribution_mapping=False,
+            )
+            system = AgsSlam(
+                sequence.intrinsics, config, mapping_iterations=mapping_iterations, perf=perf
+            )
+            result = system.run(sequence, num_frames=num_frames)
+            result.algorithm = "droid-splatam"
+            return result
+    raise AssertionError(f"unhandled algorithm '{algorithm}'")  # pragma: no cover
 
 
 def scaled_trace_for_platforms(result):

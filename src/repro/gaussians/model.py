@@ -144,8 +144,26 @@ class GaussianModel:
 
     @property
     def alphas(self) -> np.ndarray:
-        """Return the (N,) blending opacities in (0, 1)."""
-        return _sigmoid(self.opacities)
+        """Return the (N,) blending opacities in (0, 1).
+
+        The sigmoid is memoized: the rasterizer and the backward pass both
+        ask for the opacities of the same parameters several times per
+        iteration.  The cache is keyed on the *values* of ``opacities``
+        (cheap memcmp), so both in-place edits and wholesale replacement
+        of the logits array invalidate it correctly.  Treat the returned
+        array as read-only.
+        """
+        opac = self.opacities
+        cache = getattr(self, "_alphas_cache", None)
+        if cache is not None:
+            cached_logits, cached_alphas = cache
+            if cached_logits.shape == opac.shape and np.array_equal(cached_logits, opac):
+                return cached_alphas
+        alphas = _sigmoid(opac)
+        # Store a private copy of the logits: the live array may be
+        # mutated in place, which must count as a cache miss.
+        self._alphas_cache = (opac.copy(), alphas)
+        return alphas
 
     def covariances(self) -> np.ndarray:
         """Return the (N, 3, 3) world-space covariance matrices."""

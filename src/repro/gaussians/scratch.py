@@ -1,0 +1,41 @@
+"""Reusable scratch buffers for the per-tile rendering hot path.
+
+The tile loop of the rasterizer allocates several ``(pixels, gaussians)``
+temporaries per tile; at SLAM frame rates that is thousands of short-lived
+multi-megabyte allocations per second.  A :class:`ScratchPool` hands out
+named buffers that are grown geometrically and reused across tiles, so
+each temporary is allocated once per render call instead of once per tile.
+
+Buffers are plain views into a flat backing array and therefore
+contiguous.  A pool must not be shared across concurrent consumers: take a
+fresh pool per render call (cheap — it only allocates on first use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """Named, growable scratch buffers (single-consumer)."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+
+    def take(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return an uninitialised contiguous array of ``shape``.
+
+        The same ``name`` returns (a view of) the same backing memory on
+        every call, resized only when ``shape`` outgrows it — callers must
+        be done with the previous view before taking the name again.
+        """
+        dtype = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        key = (name, dtype)
+        backing = self._buffers.get(key)
+        if backing is None or backing.size < size:
+            backing = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[key] = backing
+        return backing[:size].reshape(shape)

@@ -100,39 +100,67 @@ def assign_tiles(
         each tile sorted front-to-back.
     """
     tiles_x, tiles_y = build_tile_grid(width, height, tile_size)
+    num_tiles = tiles_x * tiles_y
     visible_ids = np.nonzero(projection.visible)[0]
-
-    per_tile: list[list[int]] = [[] for _ in range(tiles_x * tiles_y)]
-    means2d = projection.means2d
-    radii = projection.radii
-    for gid in visible_ids:
-        cx, cy = means2d[gid]
-        radius = radii[gid]
-        tx0 = max(int((cx - radius) // tile_size), 0)
-        tx1 = min(int((cx + radius) // tile_size), tiles_x - 1)
-        ty0 = max(int((cy - radius) // tile_size), 0)
-        ty1 = min(int((cy + radius) // tile_size), tiles_y - 1)
-        for ty in range(ty0, ty1 + 1):
-            base = ty * tiles_x
-            for tx in range(tx0, tx1 + 1):
-                per_tile[base + tx].append(int(gid))
-
     depths = projection.depths
+
+    # Vectorized (Gaussian, tile) pair expansion: per-Gaussian tile ranges,
+    # one flat pair list, then a stable sort by tile.  Pairs are generated
+    # in ascending Gaussian order, so the stable sort preserves the
+    # ascending-id order inside every tile that the per-Gaussian append
+    # loop used to produce.
+    if len(visible_ids):
+        cx = projection.means2d[visible_ids, 0]
+        cy = projection.means2d[visible_ids, 1]
+        radius = projection.radii[visible_ids]
+        tx0 = np.maximum(np.floor_divide(cx - radius, tile_size), 0).astype(np.int64)
+        tx1 = np.minimum(np.floor_divide(cx + radius, tile_size), tiles_x - 1).astype(np.int64)
+        ty0 = np.maximum(np.floor_divide(cy - radius, tile_size), 0).astype(np.int64)
+        ty1 = np.minimum(np.floor_divide(cy + radius, tile_size), tiles_y - 1).astype(np.int64)
+        span_x = np.maximum(tx1 - tx0 + 1, 0)
+        span_y = np.maximum(ty1 - ty0 + 1, 0)
+        counts = span_x * span_y
+        total = int(counts.sum())
+
+        gid_pairs = np.repeat(visible_ids, counts)
+        pair_starts = np.cumsum(counts) - counts
+        local = np.arange(total) - np.repeat(pair_starts, counts)
+        span_x_rep = np.repeat(span_x, counts)
+        tile_pairs = (
+            (np.repeat(ty0, counts) + local // span_x_rep) * tiles_x
+            + np.repeat(tx0, counts)
+            + local % span_x_rep
+        )
+        order = np.argsort(tile_pairs, kind="stable")
+        tile_sorted = tile_pairs[order]
+        gid_sorted = gid_pairs[order]
+        bounds = np.searchsorted(tile_sorted, np.arange(num_tiles + 1))
+    else:
+        gid_sorted = np.zeros(0, dtype=np.int64)
+        bounds = np.zeros(num_tiles + 1, dtype=np.int64)
+
     tables: list[GaussianTable] = []
-    for ty in range(tiles_y):
-        for tx in range(tiles_x):
-            ids = np.array(per_tile[ty * tiles_x + tx], dtype=np.int64)
-            if len(ids):
-                order = np.argsort(depths[ids], kind="stable")
-                ids = ids[order]
-            tables.append(
-                GaussianTable(
-                    tile_x=tx,
-                    tile_y=ty,
-                    gaussian_ids=ids,
-                    depths=depths[ids] if len(ids) else np.zeros(0),
-                )
+    empty_ids = np.zeros(0, dtype=np.int64)
+    empty_depths = np.zeros(0)
+    for tile_index in range(num_tiles):
+        start, end = int(bounds[tile_index]), int(bounds[tile_index + 1])
+        if end > start:
+            ids = gid_sorted[start:end]
+            tile_depths = depths[ids]
+            depth_order = np.argsort(tile_depths, kind="stable")
+            ids = ids[depth_order]
+            tile_depths = tile_depths[depth_order]
+        else:
+            ids = empty_ids
+            tile_depths = empty_depths
+        tables.append(
+            GaussianTable(
+                tile_x=tile_index % tiles_x,
+                tile_y=tile_index // tiles_x,
+                gaussian_ids=ids,
+                depths=tile_depths,
             )
+        )
 
     return TileGrid(
         width=width,

@@ -1,0 +1,102 @@
+"""Lightweight performance instrumentation (timers, counters, reports).
+
+The perf subsystem gives every layer of the reproduction a shared way to
+measure where wall-clock time goes and how many hot-path operations run,
+without adding measurable overhead when disabled:
+
+* :class:`PerfTimers` — nested wall-clock section timers
+  (``with perf.timers.section("tracking"): ...``), reported under
+  slash-joined paths.
+* :class:`PerfCounters` — named operation counters
+  (``perf.counters.add("codec.sad_evaluations", n)``).
+* :class:`PerfRecorder` — the pair of them, threaded through
+  :class:`repro.core.pipeline.AgsSlam`, :class:`repro.slam.splatam.SplaTam`
+  and :mod:`repro.eval.runner`.
+* :data:`NULL_RECORDER` — a no-op recorder used when instrumentation is
+  off (the default), so instrumented code never branches.
+* :func:`global_recorder` — process-wide recorder the evaluation runner
+  records into; benchmarks read it to build perf-trajectory files
+  (``BENCH_*.json``) via :mod:`repro.perf.report`.
+
+Conventions: timer paths are ``<system>/<stage>[/<substage>]`` (e.g.
+``ags/mapping``), counter names are ``<area>.<quantity>`` (e.g.
+``codec.sad_evaluations``, ``render.gaussians``).
+"""
+
+from __future__ import annotations
+
+from repro.perf.counters import PerfCounters
+from repro.perf.report import build_report, format_report, write_json_report
+from repro.perf.timer import NullTimers, PerfTimers, SectionStats
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullTimers",
+    "PerfCounters",
+    "PerfRecorder",
+    "PerfTimers",
+    "SectionStats",
+    "build_report",
+    "format_report",
+    "write_json_report",
+    "global_recorder",
+    "reset_global_recorder",
+]
+
+
+class _NullCounters(PerfCounters):
+    """Counters that drop everything (for :data:`NULL_RECORDER`)."""
+
+    __slots__ = ()
+
+    def add(self, name: str, value: float = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class PerfRecorder:
+    """A timer/counter pair with convenience pass-throughs.
+
+    ``enabled=False`` builds the shared no-op variant: ``section`` returns
+    a reusable null context manager and ``count`` discards its arguments,
+    so hot paths can call them unconditionally.
+    """
+
+    __slots__ = ("timers", "counters", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.timers = PerfTimers() if enabled else NullTimers()
+        self.counters = PerfCounters() if enabled else _NullCounters()
+
+    def section(self, name: str):
+        """Time a code block (see :meth:`PerfTimers.section`)."""
+        return self.timers.section(name)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Bump a counter (see :meth:`PerfCounters.add`)."""
+        self.counters.add(name, value)
+
+    def reset(self) -> None:
+        """Clear all recorded timings and counters."""
+        self.timers.reset()
+        self.counters.reset()
+
+    def as_dict(self) -> dict:
+        """Snapshot both halves (same structure as ``build_report``)."""
+        return build_report(self)
+
+
+NULL_RECORDER = PerfRecorder(enabled=False)
+
+_GLOBAL_RECORDER = PerfRecorder()
+
+
+def global_recorder() -> PerfRecorder:
+    """Process-wide recorder shared by the evaluation runner."""
+    return _GLOBAL_RECORDER
+
+
+def reset_global_recorder() -> PerfRecorder:
+    """Clear and return the process-wide recorder."""
+    _GLOBAL_RECORDER.reset()
+    return _GLOBAL_RECORDER

@@ -1,0 +1,46 @@
+"""Lightweight operation counters for the perf subsystem.
+
+Counters accumulate named integer/float quantities (SAD evaluations,
+blended pairs, frames processed, ...) with dictionary-add overhead — cheap
+enough to leave enabled inside per-frame loops.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PerfCounters"]
+
+
+class PerfCounters:
+    """Named accumulating counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never touched)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters, sorted by name."""
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Add every counter of ``other`` into this instance."""
+        for name, value in other._counts.items():
+            self.add(name, value)
+
+    def reset(self) -> None:
+        """Zero out all counters."""
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"PerfCounters({self.as_dict()!r})"

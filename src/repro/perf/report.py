@@ -1,0 +1,67 @@
+"""Rendering and serialization of perf-recorder contents.
+
+``format_report`` produces the human-readable text table (indented by
+section nesting); ``build_report`` / ``write_json_report`` produce the
+JSON structure the benchmark tooling appends to the repo's perf
+trajectory files (``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["build_report", "format_report", "write_json_report"]
+
+
+def build_report(recorder, extra: dict | None = None) -> dict:
+    """Return ``{"timers": ..., "counters": ...}`` (+ optional extra keys)."""
+    report = {
+        "timers": recorder.timers.as_dict(),
+        "counters": recorder.counters.as_dict(),
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def format_report(recorder, title: str = "perf report") -> str:
+    """Render a recorder as an aligned text table, indented by nesting."""
+    timers = recorder.timers.as_dict()
+    counters = recorder.counters.as_dict()
+    lines = [title, "-" * len(title)]
+    if timers:
+        name_width = max(len(path) + 2 * path.count("/") for path in timers) + 2
+        lines.append(f"{'section'.ljust(name_width)}{'total':>10}  {'calls':>7}  {'mean':>10}")
+        for path, stats in timers.items():
+            # Strip the longest timed ancestor so nested sections show only
+            # their relative path; indent one level per stripped ancestor.
+            label, depth = path, 0
+            parent = path
+            while "/" in parent:
+                parent = parent.rpartition("/")[0]
+                if parent in timers:
+                    if depth == 0:
+                        label = path[len(parent) + 1 :]
+                    depth += 1
+            lines.append(
+                f"{('  ' * depth + label).ljust(name_width)}{stats['total_seconds']:>9.4f}s  "
+                f"{stats['calls']:>7d}  {stats['mean_seconds'] * 1e3:>8.3f}ms"
+            )
+    else:
+        lines.append("(no timed sections)")
+    if counters:
+        lines.append("")
+        name_width = max(len(name) for name in counters) + 2
+        for name, value in counters.items():
+            rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.3f}"
+            lines.append(f"{name.ljust(name_width)}{rendered:>16}")
+    return "\n".join(lines)
+
+
+def write_json_report(recorder, path, extra: dict | None = None) -> dict:
+    """Serialize ``build_report`` output to ``path``; returns the report."""
+    report = build_report(recorder, extra=extra)
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

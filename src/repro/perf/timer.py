@@ -1,0 +1,126 @@
+"""Nested wall-clock timers for the perf subsystem.
+
+:class:`PerfTimers` measures named sections via a context manager; nested
+sections are recorded under slash-joined paths (``"ags/tracking/render"``)
+so a report can show both a flat table and the call-tree structure.
+:class:`NullTimers` is a do-nothing stand-in with the same interface, so
+hot paths can take a timer object unconditionally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+__all__ = ["SectionStats", "PerfTimers", "NullTimers"]
+
+
+class SectionStats:
+    """Accumulated statistics of one timed section."""
+
+    __slots__ = ("total_seconds", "calls", "max_seconds")
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.calls = 0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.calls += 1
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total_seconds": self.total_seconds,
+            "calls": self.calls,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return f"SectionStats(total={self.total_seconds:.6f}s, calls={self.calls})"
+
+
+class PerfTimers:
+    """Hierarchical section timers.
+
+    Usage::
+
+        timers = PerfTimers()
+        with timers.section("tracking"):
+            with timers.section("render"):   # recorded as "tracking/render"
+                ...
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, SectionStats] = {}
+        self._stack: list[str] = []
+
+    @contextlib.contextmanager
+    def section(self, name: str):
+        """Time a code block under ``name`` (nested under active sections)."""
+        path = "/".join(self._stack + [name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = SectionStats()
+            stats.record(elapsed)
+
+    def get(self, path: str) -> SectionStats | None:
+        """Stats of a slash-joined section path (None if never entered)."""
+        return self._stats.get(path)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Snapshot ``{path: {total_seconds, calls, mean, max}}``, sorted."""
+        return {path: stats.as_dict() for path, stats in sorted(self._stats.items())}
+
+    def reset(self) -> None:
+        """Drop all recorded sections (active stack is preserved)."""
+        self._stats.clear()
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SECTION = _NullSection()
+
+
+class NullTimers:
+    """No-op drop-in for :class:`PerfTimers` (near-zero overhead)."""
+
+    def section(self, name: str) -> _NullSection:
+        return _NULL_SECTION
+
+    def get(self, path: str) -> None:
+        return None
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

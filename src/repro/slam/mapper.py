@@ -134,7 +134,11 @@ class GaussianMapper:
         model = model.copy()
         num_densified = 0
         if config.densify and allow_densify:
-            seed_result = render(model, camera, record_workloads=False) if len(model) else None
+            seed_result = (
+                render(model, camera, record_workloads=False, record_contributions=False)
+                if len(model)
+                else None
+            )
             if seed_result is None:
                 model = self._bootstrap_model(camera, frame_color, frame_depth)
                 num_densified = len(model)
@@ -168,12 +172,17 @@ class GaussianMapper:
         for iteration in range(iterations):
             view_color, view_depth, view_pose = views[iteration % len(views)]
             view_camera = Camera(intrinsics=self.intrinsics, pose=view_pose)
+            # Contribution statistics are only consumed on iteration 0 (the
+            # key frame's own view); later iterations can take the
+            # stats-free fast path when no workload trace is requested.
+            want_contributions = record_contributions and iteration == 0
             result = render(
                 model,
                 view_camera,
                 active_mask=mask,
                 contribution_threshold=config.contribution_threshold,
-                record_workloads=collect_workload or record_contributions,
+                record_workloads=collect_workload or want_contributions,
+                record_contributions=want_contributions,
             )
             color_loss, color_grad = l1_loss(result.color, view_color)
             valid = view_depth > 1e-6
@@ -225,7 +234,7 @@ class GaussianMapper:
                 for name in GaussianModel.PARAM_NAMES:
                     self.optimizer.resize_state(name, keep_idx, len(keep_idx))
 
-        final_render = render(model, camera, record_workloads=False)
+        final_render = render(model, camera, record_workloads=False, record_contributions=False)
         frame_quality = psnr(final_render.color, frame_color)
 
         workload = MappingWorkload(

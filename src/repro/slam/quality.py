@@ -73,7 +73,7 @@ def evaluate_mapping_quality(
         frame = sequence[frame_result.frame_index]
         pose = frame_result.estimated_pose if use_estimated_poses else frame.gt_pose
         camera = Camera(intrinsics=sequence.intrinsics, pose=pose)
-        rendered = render(model, camera, record_workloads=False)
+        rendered = render(model, camera, record_workloads=False, record_contributions=False)
         psnrs.append(psnr(rendered.color, frame.color))
         ssims.append(ssim(rendered.color, frame.color))
         valid = frame.depth > 1e-6

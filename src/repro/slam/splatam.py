@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.gaussians.camera import Intrinsics
 from repro.gaussians.model import GaussianModel
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult, SlamResult
@@ -58,9 +59,15 @@ class SplaTamConfig:
 class SplaTam:
     """The baseline 3DGS-SLAM pipeline."""
 
-    def __init__(self, intrinsics: Intrinsics, config: SplaTamConfig | None = None) -> None:
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: SplaTamConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
         self.intrinsics = intrinsics
         self.config = config or SplaTamConfig()
+        self.perf = perf or NULL_RECORDER
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
@@ -129,26 +136,31 @@ class SplaTam:
             tracking_iterations = 0
         else:
             initial = self.tracker.initial_guess(self._pose_history)
-            outcome = self.tracker.track(
-                self.model, frame.color, frame.depth, initial,
-                collect_workload=config.collect_trace,
-            )
+            with self.perf.section("splatam/tracking"):
+                outcome = self.tracker.track(
+                    self.model, frame.color, frame.depth, initial,
+                    collect_workload=config.collect_trace,
+                )
             pose = outcome.pose
             tracking_workload = outcome.workload
             tracking_loss = outcome.final_loss
             tracking_iterations = outcome.iterations_run
         self._pose_history.append(pose.copy())
+        self.perf.count("tracking.refine_iterations", tracking_iterations)
 
         # ---------------- Mapping ----------------
-        mapping_outcome = self.mapper.map_frame(
-            self.model,
-            frame.color,
-            frame.depth,
-            pose,
-            keyframes=self.keyframes.mapping_views(),
-            collect_workload=config.collect_trace,
-        )
+        with self.perf.section("splatam/mapping"):
+            mapping_outcome = self.mapper.map_frame(
+                self.model,
+                frame.color,
+                frame.depth,
+                pose,
+                keyframes=self.keyframes.mapping_views(),
+                collect_workload=config.collect_trace,
+            )
         self.model = mapping_outcome.model
+        self.perf.count("frames.processed")
+        self.perf.count("mapping.iterations", mapping_outcome.iterations_run)
 
         if self.keyframes.should_add(index, pose):
             self.keyframes.add(index, frame.color, frame.depth, pose)

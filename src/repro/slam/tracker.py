@@ -124,7 +124,9 @@ class GaussianPoseTracker:
 
         for iteration in range(iterations):
             camera = Camera(intrinsics=self.intrinsics, pose=pose)
-            result = render(model, camera, record_workloads=collect_workload)
+            result = render(
+                model, camera, record_workloads=collect_workload, record_contributions=False
+            )
             mask = result.silhouette > config.silhouette_threshold
 
             color_loss, color_grad = masked_l1_loss(result.color, target_color, mask)

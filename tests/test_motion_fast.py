@@ -1,0 +1,142 @@
+"""Equivalence tests: vectorized vs reference motion-estimation backends.
+
+The vectorized backends must be indistinguishable from the scalar
+reference — identical minimum SADs, identical motion vectors (including
+tie-breaking) and an identical ``sad_evaluations`` count, so the FC-engine
+hardware model sees unchanged costs.  Frame shapes include
+non-multiple-of-block-size sizes to exercise the edge-padding path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec import motion_estimate
+from repro.codec.motion_estimation import SEARCH_BACKENDS, SEARCH_METHODS
+
+
+def _frames(height, width, seed, kind="noise"):
+    rng = np.random.default_rng(seed)
+    current = rng.uniform(size=(height, width))
+    if kind == "identical":
+        previous = current.copy()
+    elif kind == "shifted":
+        previous = np.roll(current, 1, axis=1)
+    elif kind == "flat":
+        current = np.full((height, width), 0.5)
+        previous = np.full((height, width), 0.5)
+    else:
+        previous = np.clip(current + rng.normal(scale=0.05, size=(height, width)), 0.0, 1.0)
+    return current, previous
+
+
+def _assert_backends_agree(current, previous, **kwargs):
+    reference = motion_estimate(current, previous, backend="reference", **kwargs)
+    vectorized = motion_estimate(current, previous, backend="vectorized", **kwargs)
+    np.testing.assert_array_equal(reference.min_sads, vectorized.min_sads)
+    np.testing.assert_array_equal(reference.motion_vectors, vectorized.motion_vectors)
+    assert reference.sad_evaluations == vectorized.sad_evaluations
+    return reference, vectorized
+
+
+# ----------------------------------------------------------------------
+# Property-based equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    height=st.integers(9, 40),
+    width=st.integers(9, 40),
+    search_range=st.integers(1, 5),
+    method=st.sampled_from(SEARCH_METHODS),
+    seed=st.integers(0, 10_000),
+)
+def test_backends_identical_on_random_frames(height, width, search_range, method, seed):
+    current, previous = _frames(height, width, seed)
+    _assert_backends_agree(
+        current, previous, search_range=search_range, method=method, block_size=8
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    height=st.integers(9, 33),
+    width=st.integers(9, 33),
+    kind=st.sampled_from(["identical", "shifted", "flat"]),
+    method=st.sampled_from(SEARCH_METHODS),
+    seed=st.integers(0, 1_000),
+)
+def test_backends_identical_on_degenerate_frames(height, width, kind, method, seed):
+    """Flat / identical frames maximize SAD ties — the tie-break acid test."""
+    current, previous = _frames(height, width, seed, kind=kind)
+    _assert_backends_agree(current, previous, search_range=3, method=method, block_size=8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    block_size=st.sampled_from([4, 8, 16]),
+    search_range=st.integers(1, 6),
+    seed=st.integers(0, 1_000),
+)
+def test_backends_identical_across_block_sizes(block_size, search_range, seed):
+    current, previous = _frames(37, 45, seed)  # exercises edge padding
+    for method in SEARCH_METHODS:
+        _assert_backends_agree(
+            current, previous, search_range=search_range, method=method, block_size=block_size
+        )
+
+
+# ----------------------------------------------------------------------
+# Directed cases
+# ----------------------------------------------------------------------
+def test_non_multiple_block_size_shape_padding_path():
+    current, previous = _frames(30, 50, seed=7)
+    reference, vectorized = _assert_backends_agree(
+        current, previous, search_range=4, method="full"
+    )
+    assert reference.min_sads.shape == (4, 7)  # 30x50 edge-padded to 32x56
+
+
+def test_search_range_larger_than_block_size():
+    current, previous = _frames(24, 24, seed=11)
+    _assert_backends_agree(current, previous, search_range=10, method="full", block_size=8)
+    _assert_backends_agree(current, previous, search_range=10, method="diamond", block_size=8)
+
+
+def test_vectorized_is_default_backend():
+    current, previous = _frames(16, 16, seed=3)
+    default = motion_estimate(current, previous, search_range=2)
+    explicit = motion_estimate(current, previous, search_range=2, backend="vectorized")
+    np.testing.assert_array_equal(default.min_sads, explicit.min_sads)
+
+
+def test_known_translation_recovered_by_vectorized_backend():
+    rng = np.random.default_rng(5)
+    base = rng.uniform(size=(32, 48))
+    frame = 0.5 * base + 0.5 * np.roll(base, 1, axis=1)
+    shifted = np.roll(frame, 2, axis=1)
+    result = motion_estimate(shifted, frame, search_range=3, backend="vectorized")
+    inner = result.motion_vectors[1:-1, 1:-1]
+    assert np.median(inner[..., 0]) == -2
+
+
+# ----------------------------------------------------------------------
+# Argument validation (checked before any work happens)
+# ----------------------------------------------------------------------
+def test_unknown_method_raises_before_any_work():
+    frame = np.zeros((16, 16))
+    with pytest.raises(ValueError, match="unknown search method 'hexagon'"):
+        motion_estimate(frame, frame, method="hexagon")
+    # Even with an otherwise-invalid frame pair: validation must come first.
+    with pytest.raises(ValueError, match="unknown search method"):
+        motion_estimate(np.zeros((8, 8)), np.zeros((4, 4)), method="hexagon")
+
+
+def test_unknown_backend_raises():
+    frame = np.zeros((16, 16))
+    with pytest.raises(ValueError, match="unknown backend 'cuda'"):
+        motion_estimate(frame, frame, backend="cuda")
+
+
+def test_backend_names_exported():
+    assert set(SEARCH_BACKENDS) == {"vectorized", "reference"}
+    assert set(SEARCH_METHODS) == {"full", "diamond"}
