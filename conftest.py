@@ -2,12 +2,39 @@
 
 Ensures the ``src`` layout is importable even when the package has not
 been installed (offline environments where ``pip install -e .`` cannot
-fetch build dependencies can still run the test suite).
+fetch build dependencies can still run the test suite), and registers the
+``slow`` marker: long randomized equivalence sweeps are deselected from
+the default (tier-1) run and executed with ``pytest -m slow``.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long randomized equivalence sweep; deselected by default, run with -m slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # Tier-1 stays fast: slow sweeps only run when selected via a marker
+    # expression that mentions them (e.g. ``-m slow``) or when a test is
+    # named explicitly on the command line (``file.py::test_name``).
+    if "slow" in (config.option.markexpr or ""):
+        return
+    explicit = [arg.replace("\\", "/") for arg in config.args if "::" in arg]
+    skip_slow = pytest.mark.skip(reason="slow equivalence sweep: run with -m slow")
+    for item in items:
+        if "slow" not in item.keywords:
+            continue
+        if any(item.nodeid.startswith(arg) for arg in explicit):
+            continue
+        item.add_marker(skip_slow)

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Hot-path perf gate: re-measure the motion-estimation and rasterizer
-# micro-benchmarks and update BENCH_hotpaths.json at the repo root.
+# Hot-path perf gate: re-measure the motion-estimation, rasterizer and
+# rasterizer-backward micro-benchmarks and update BENCH_hotpaths.json /
+# BENCH_backward.json at the repo root.
 #
-# If a gated hot-path timing regressed by more than 20% against the
-# committed BENCH_hotpaths.json, the script exits non-zero and leaves the
+# If a gated hot-path timing regressed by more than 20% against a
+# committed BENCH_*.json, the script exits non-zero and leaves that
 # previous file untouched — wire it into CI so perf regressions fail PRs.
 #
-# Usage: scripts/bench_speed.sh [extra bench_speed_hotpaths.py args]
+# Usage: scripts/bench_speed.sh [extra bench args, applied to both]
 #   e.g. scripts/bench_speed.sh --max-regression 0.1
 #        scripts/bench_speed.sh --repeats 9
 
@@ -15,3 +16,5 @@ cd "$(dirname "$0")/.."
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_hotpaths.py --gate "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_speed_backward.py --gate "$@"

@@ -20,6 +20,7 @@ from repro.core.config import AGSConfig
 from repro.core.contribution import GaussianContributionTable
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
+from repro.perf import PerfRecorder
 from repro.slam.mapper import GaussianMapper, MapperConfig, MappingOutcome
 
 __all__ = ["AdaptiveMappingOutcome", "ContributionAwareMapper"]
@@ -44,6 +45,7 @@ class ContributionAwareMapper:
         intrinsics: Intrinsics,
         config: AGSConfig | None = None,
         mapper_config: MapperConfig | None = None,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self.intrinsics = intrinsics
         self.config = config or AGSConfig()
@@ -51,7 +53,7 @@ class ContributionAwareMapper:
         mapper_config = dataclasses.replace(
             mapper_config, contribution_threshold=self.config.thresh_alpha
         )
-        self.mapper = GaussianMapper(intrinsics, mapper_config)
+        self.mapper = GaussianMapper(intrinsics, mapper_config, perf=perf)
         self.contribution_table = GaussianContributionTable()
 
     def reset(self) -> None:

@@ -56,15 +56,19 @@ class AgsSlam:
         covisibility_config = covisibility_config or CovisibilityConfig(
             sad_scale=self.config.covisibility_sad_scale
         )
+        self.perf = perf or NULL_RECORDER
         self.covisibility = FrameCovisibilityDetector(covisibility_config)
-        self.tracking = MovementAdaptiveTracker(intrinsics, self.config, tracker_config)
+        self.tracking = MovementAdaptiveTracker(
+            intrinsics, self.config, tracker_config, perf=self.perf
+        )
         mapper_config = mapper_config or MapperConfig()
         mapper_config = dataclasses.replace(mapper_config, num_iterations=mapping_iterations)
-        self.mapping = ContributionAwareMapper(intrinsics, self.config, mapper_config)
+        self.mapping = ContributionAwareMapper(
+            intrinsics, self.config, mapper_config, perf=self.perf
+        )
         self.keyframes = KeyframeManager(max_keyframes=keyframe_window)
         self.anchor_first_pose_to_gt = anchor_first_pose_to_gt
         self.collect_trace = collect_trace
-        self.perf = perf or NULL_RECORDER
         self.model = GaussianModel.empty()
         self._prev_frame = None
         self._prev_pose = None

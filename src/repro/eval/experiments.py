@@ -225,9 +225,7 @@ def fig5_contribution_breakdown(settings: EvalSettings = DEFAULT_SETTINGS) -> di
         for table in result.tile_grid.tables:
             if len(table) == 0:
                 continue
-            from repro.gaussians.rasterizer import _tile_pixel_centers
-
-            pixels, _ = _tile_pixel_centers(result.tile_grid, table)
+            pixels = result.tile_grid.pixel_centers(table)
             data = tile_forward(table, pixels, result.projection, model.colors, model.alphas)
             contrib_per_gaussian = (data["weights"] >= 1.0 / 255.0).sum(axis=0)
             total += len(table)

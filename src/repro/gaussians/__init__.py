@@ -15,26 +15,43 @@ The public entry points are:
 * :func:`repro.gaussians.gradients.render_backward` -- analytic gradients.
 * :class:`repro.gaussians.optimizer.Adam` -- parameter updates.
 
-Rendering hot-path knobs (``render``):
+Rendering hot-path knobs (``render`` / ``render_backward``):
 
-* ``record_workloads=False, record_contributions=False`` selects the
-  stats-free fast path: tiles are batched by size, padded with
-  zero-opacity entries and blended in one vectorized pass per bucket,
-  skipping every per-(pixel, Gaussian) intermediate that only the
-  statistics consumers need.  Outputs match the stats path to float64
-  round-off (verified by ``tests/test_rasterizer_fastpath.py``).
-* ``dtype=np.float32`` runs the fast path in single precision
-  (~1e-4 image error, roughly half the time and memory).  The
-  stats-recording path always computes in float64.
+* ``render(..., backend="bucketed")`` (the default) batches tiles into
+  padded size buckets, blends each bucket in one vectorized pass, and
+  serves both the stats-free fast path and the statistics-recording path
+  (workloads + contributions) via bucketed scatter-adds.
+  ``backend="reference"`` keeps the original per-tile loop as the
+  executable specification (equivalence verified by
+  ``tests/test_rasterizer_fastpath.py`` and
+  ``tests/test_rasterizer_bucketed_stats.py``).
+* ``render(..., cache=ForwardCache())`` additionally retains the
+  per-bucket blending intermediates; ``render_backward`` (default
+  ``backend="auto"``) then consumes them with bucketed einsum /
+  ``bincount`` accumulation instead of re-running the forward per tile —
+  the fused forward/backward path tracking and mapping run on.
+  ``render_backward(..., backend="reference")`` keeps the per-tile
+  backward as the executable spec (``tests/test_backward_fused.py``).
+* ``dtype=np.float32`` runs the bucketed forward in single precision
+  (~1e-4 image error, roughly half the time and memory).  The reference
+  backend always computes in float64.
 
-``GaussianModel.alphas`` memoizes the sigmoid of the opacity logits, and
+``GaussianModel.alphas`` memoizes the sigmoid of the opacity logits,
 :class:`repro.gaussians.scratch.ScratchPool` provides the reusable
-per-tile scratch buffers the fast path allocates once per frame.
+scratch buffers (one pool backs each :class:`ForwardCache`, so reusing a
+cache across optimizer iterations allocates nothing), and
+``TileGrid.pixel_centers`` / ``TileGrid.tile_offsets`` cache the per-tile
+pixel-center grids every consumer used to rebuild with ``meshgrid``.
 """
 
 from repro.gaussians.camera import Camera, Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.rasterizer import RasterizationResult, render
+from repro.gaussians.rasterizer import (
+    ForwardCache,
+    RasterizationResult,
+    build_forward_cache,
+    render,
+)
 from repro.gaussians.gradients import GaussianGradients, PoseGradients, render_backward
 from repro.gaussians.optimizer import Adam
 from repro.gaussians.loss import l1_loss, mse_loss, psnr, ssim
@@ -42,12 +59,14 @@ from repro.gaussians.loss import l1_loss, mse_loss, psnr, ssim
 __all__ = [
     "Adam",
     "Camera",
+    "ForwardCache",
     "GaussianGradients",
     "GaussianModel",
     "Intrinsics",
     "Pose",
     "PoseGradients",
     "RasterizationResult",
+    "build_forward_cache",
     "l1_loss",
     "mse_loss",
     "psnr",

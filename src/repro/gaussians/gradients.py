@@ -19,6 +19,22 @@ Both approximations preserve descent directions, which is what the SLAM
 optimizers need; the unit tests verify agreement with finite differences
 for the exact paths and descent-direction consistency for the approximate
 ones.
+
+Two accumulation backends produce the image-space gradient sums:
+
+* ``backend="bucketed"`` consumes the padded size-bucket intermediates of
+  the forward pass — either the :class:`~repro.gaussians.rasterizer.ForwardCache`
+  attached to the ``RasterizationResult`` (the fused fast path used by
+  tracking and mapping: one forward per optimizer iteration, backward
+  reuses its cache) or, when no valid cache is present, a cache rebuilt
+  once via :func:`~repro.gaussians.rasterizer.build_forward_cache`.  The
+  per-pixel suffix sums collapse to a single exclusive suffix-cumsum of
+  ``weights * u`` where ``u`` folds the color/depth/silhouette chain
+  terms, and per-Gaussian accumulation uses ``bincount`` scatter-adds.
+* ``backend="reference"`` is the original per-tile loop that re-runs
+  :func:`~repro.gaussians.rasterizer.tile_forward` for every tile — the
+  executable specification, property-tested against the bucketed engine
+  in ``tests/test_backward_fused.py`` (agreement to <= 1e-9).
 """
 
 from __future__ import annotations
@@ -29,9 +45,17 @@ import numpy as np
 
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.rasterizer import RasterizationResult, tile_forward
+from repro.gaussians.rasterizer import (
+    RasterizationResult,
+    build_forward_cache,
+    tile_forward,
+)
+from repro.gaussians.scratch import scatter_add as _scatter_add
+from repro.perf import NULL_RECORDER, PerfRecorder
 
 __all__ = ["GaussianGradients", "PoseGradients", "render_backward"]
+
+_BACKWARD_BACKENDS = ("auto", "bucketed", "reference")
 
 
 @dataclasses.dataclass
@@ -137,41 +161,36 @@ def _quat_rotmat_jacobians(quats: np.ndarray) -> np.ndarray:
     return np.stack([d_w, d_x, d_y, d_z], axis=1)
 
 
-def render_backward(
+@dataclasses.dataclass
+class _BackwardAccumulators:
+    """Image-space gradient sums shared by both accumulation backends."""
+
+    colors: np.ndarray  # (N, 3)
+    d_mean2d: np.ndarray  # (N, 2)
+    d_cov2d: np.ndarray  # (N, 2, 2)
+    d_depth_per_gaussian: np.ndarray  # (N,)
+    d_opacity_sigmoid: np.ndarray  # (N,)
+
+    @classmethod
+    def zeros(cls, count: int) -> "_BackwardAccumulators":
+        return cls(
+            colors=np.zeros((count, 3)),
+            d_mean2d=np.zeros((count, 2)),
+            d_cov2d=np.zeros((count, 2, 2)),
+            d_depth_per_gaussian=np.zeros(count),
+            d_opacity_sigmoid=np.zeros(count),
+        )
+
+
+def _accumulate_reference(
     model: GaussianModel,
-    camera: Camera,
     result: RasterizationResult,
     grad_color: np.ndarray,
-    grad_depth: np.ndarray | None = None,
-    grad_silhouette: np.ndarray | None = None,
-    compute_pose_gradient: bool = False,
-) -> tuple[GaussianGradients, PoseGradients | None]:
-    """Back-propagate image-space gradients to Gaussian and pose parameters.
-
-    Args:
-        model: the Gaussian model that produced ``result``.
-        camera: the camera that produced ``result``.
-        result: the forward :class:`RasterizationResult`.
-        grad_color: (H, W, 3) gradient of the loss w.r.t. the rendered color.
-        grad_depth: optional (H, W) gradient w.r.t. the rendered depth.
-        grad_silhouette: optional (H, W) gradient w.r.t. the silhouette.
-        compute_pose_gradient: also compute the camera-pose gradient.
-
-    Returns:
-        ``(gaussian_gradients, pose_gradients)``; the second element is
-        None unless ``compute_pose_gradient`` is True.
-    """
-    count = len(model)
-    grads = GaussianGradients.zeros(count)
-    grad_color = np.asarray(grad_color, dtype=np.float64)
-    height, width = grad_color.shape[:2]
-
-    # Accumulators in the projected (2D) domain.
-    d_mean2d = np.zeros((count, 2))
-    d_cov2d = np.zeros((count, 2, 2))
-    d_depth_per_gaussian = np.zeros(count)
-    d_opacity_sigmoid = np.zeros(count)
-
+    grad_depth: np.ndarray | None,
+    grad_silhouette: np.ndarray | None,
+    acc: _BackwardAccumulators,
+) -> None:
+    """Per-tile accumulation re-running ``tile_forward`` (the executable spec)."""
     projection = result.projection
     grid = result.tile_grid
     opac = model.alphas
@@ -180,10 +199,7 @@ def render_backward(
         if len(table) == 0:
             continue
         x0, x1, y0, y1 = grid.pixel_bounds(table)
-        xs = np.arange(x0, x1) + 0.5
-        ys = np.arange(y0, y1) + 0.5
-        gx, gy = np.meshgrid(xs, ys)
-        pixels = np.stack([gx.ravel(), gy.ravel()], axis=1)
+        pixels = grid.pixel_centers(table)
 
         data = tile_forward(table, pixels, projection, model.colors, opac)
         ids = data["ids"]
@@ -209,10 +225,10 @@ def render_backward(
         )
 
         # Gradient w.r.t. Gaussian colors: dC/dc_i = w_pi.
-        grads.colors[ids] += weights.T @ dl_dc_pix
+        acc.colors[ids] += weights.T @ dl_dc_pix
 
         # Gradient w.r.t. rendered per-Gaussian depth (through the depth map).
-        d_depth_per_gaussian[ids] += weights.T @ dl_dd_pix
+        acc.d_depth_per_gaussian[ids] += weights.T @ dl_dd_pix
 
         # Suffix sums over Gaussians behind i (exclusive, from the back).
         weighted_colors = weights[:, :, None] * g_colors[None, :, :]
@@ -243,7 +259,7 @@ def render_backward(
 
         # alpha = opacity * gval
         g_opacity = data["g_opacity"]
-        d_opacity_sigmoid[ids] += (dl_dalpha * gvals).sum(axis=0)
+        acc.d_opacity_sigmoid[ids] += (dl_dalpha * gvals).sum(axis=0)
         dl_dgval = dl_dalpha * g_opacity[None, :]
         dl_dpower = dl_dgval * gvals
 
@@ -252,57 +268,288 @@ def render_backward(
         # dpower/dmean2d = A @ d  (for d = pixel - mean2d)
         a_d = np.einsum("gij,pgj->pgi", conics, d)
         d_mean2d_tile = np.einsum("pg,pgi->gi", dl_dpower, a_d)
-        d_mean2d[ids] += d_mean2d_tile
+        acc.d_mean2d[ids] += d_mean2d_tile
 
         # dpower/dSigma2D^-1 = -0.5 d d^T ; chain to Sigma2D via -A dA A.
         outer = d[:, :, :, None] * d[:, :, None, :]
         d_conic = np.einsum("pg,pgij->gij", dl_dpower, -0.5 * outer)
         d_cov2d_tile = -np.einsum("gij,gjk,gkl->gil", conics, d_conic, conics)
-        d_cov2d[ids] += d_cov2d_tile
+        acc.d_cov2d[ids] += d_cov2d_tile
+
+
+def _accumulate_bucketed(
+    model: GaussianModel,
+    result: RasterizationResult,
+    grad_color: np.ndarray,
+    grad_depth: np.ndarray | None,
+    grad_silhouette: np.ndarray | None,
+    acc: _BackwardAccumulators,
+    perf: PerfRecorder,
+) -> None:
+    """Bucketed accumulation over retained (or rebuilt) forward intermediates.
+
+    For every padded chunk of shape ``(tiles, pixels, gaussians)`` the
+    three chain terms of the reference backward collapse to one exclusive
+    suffix-cumsum: with ``u = dL/dC . c_g + dL/dD * z_g + dL/dS``,
+
+        dL/dalpha = T_before * u - suffix_g(weights * u) / (1 - alpha)
+
+    which is the reference expression with the per-channel suffix sums
+    distributed through the (Gaussian-independent) pixel gradients —
+    algebraically identical, so the two backends agree to float64
+    round-off.  Padding entries have zero ``alpha``/``weights`` and
+    contribute exactly zero to every scatter, so no masking is needed.
+    """
+    projection = result.projection
+    grid = result.tile_grid
+    cache = result.forward_cache
+    height, width = grad_color.shape[:2]
+    if (
+        cache is None
+        or cache.generation != result.forward_cache_generation
+        or cache.height != height
+        or cache.width != width
+    ):
+        # No (valid) retained intermediates: rebuild them once, bucketed, in
+        # the dtype the forward render used so gradients do not depend on
+        # whether the cache was hit or rebuilt.
+        perf.count("raster.backward_cache_builds")
+        with perf.section("raster/backward_cache_build"):
+            cache = build_forward_cache(
+                projection,
+                grid,
+                model.colors,
+                model.alphas,
+                height,
+                width,
+                dtype=result.color.dtype,
+            )
+    else:
+        perf.count("raster.backward_cache_hits")
+    perf.count("raster.backward_pairs", cache.num_pairs)
+    perf.count("raster.backward_tiles", cache.num_tiles)
+
+    grad_color_flat = grad_color.reshape(-1, 3)
+    grad_depth_flat = grad_depth.reshape(-1) if grad_depth is not None else None
+    grad_sil_flat = grad_silhouette.reshape(-1) if grad_silhouette is not None else None
+    # Pixel-gradient channels folded into one matmul: color (3), then the
+    # optional depth and silhouette channels.
+    num_channels = 3 + (grad_depth_flat is not None) + (grad_sil_flat is not None)
+    depth_col = 3 if grad_depth_flat is not None else -1
+    sil_col = 3 + (grad_depth_flat is not None) if grad_sil_flat is not None else -1
+
+    colors = model.colors
+    depths = projection.depths
+    means_x = projection.means2d[:, 0]
+    means_y = projection.means2d[:, 1]
+    conic00 = projection.conics[:, 0, 0]
+    conic01 = projection.conics[:, 0, 1]
+    conic11 = projection.conics[:, 1, 1]
+
+    # Backward temporaries share the cache's scratch pool, so repeated
+    # backward passes (one per optimizer iteration) allocate nothing.
+    pool = cache.pool
+    for chunk in cache.chunks:
+        num_tiles, num_pixels, padded = chunk.alpha.shape
+        shape = chunk.alpha.shape
+        ids = chunk.ids
+        weights = chunk.weights
+        alpha = chunk.alpha
+
+        # Gather the per-pixel loss gradients and the per-Gaussian chain
+        # parameters as (T, P, C) / (T, G, C) matrices; one batched matmul
+        # then yields both the weight contraction (colors / depth grads)
+        # and the folded chain coefficient u = dL/dC.c_g + dL/dD z_g + dL/dS.
+        pix = pool.take("bwd.pix", (num_tiles, num_pixels, num_channels), np.float64)
+        pix[:, :, :3] = grad_color_flat[chunk.flat_index].reshape(num_tiles, num_pixels, 3)
+        gpar = pool.take("bwd.gpar", (num_tiles, padded, num_channels), np.float64)
+        gpar[:, :, :3] = colors[ids]
+        if depth_col >= 0:
+            pix[:, :, depth_col] = grad_depth_flat[chunk.flat_index].reshape(
+                num_tiles, num_pixels
+            )
+            gpar[:, :, depth_col] = depths[ids]
+        if sil_col >= 0:
+            pix[:, :, sil_col] = grad_sil_flat[chunk.flat_index].reshape(
+                num_tiles, num_pixels
+            )
+            gpar[:, :, sil_col] = 1.0
+
+        weight_sums = np.matmul(weights.transpose(0, 2, 1), pix)  # (T, G, C)
+        _scatter_add(acc.colors, ids, weight_sums[:, :, :3])
+        if depth_col >= 0:
+            _scatter_add(acc.d_depth_per_gaussian, ids, weight_sums[:, :, depth_col])
+        u = pool.take("bwd.u", shape, np.float64)
+        np.matmul(pix, gpar.transpose(0, 2, 1), out=u)
+
+        # Exclusive suffix sum over Gaussians behind i (front-to-back order),
+        # divided by (1 - alpha):  dL/dalpha = T_before u - suffix / (1 - a).
+        weighted_u = pool.take("bwd.weighted_u", shape, np.float64)
+        np.multiply(weights, u, out=weighted_u)
+        suffix = pool.take("bwd.suffix", shape, np.float64)
+        np.cumsum(weighted_u[:, :, ::-1], axis=2, out=suffix[:, :, ::-1])
+        np.subtract(suffix, weighted_u, out=suffix)
+        one_minus_alpha = weighted_u  # buffer reuse: weighted_u is dead
+        np.subtract(1.0, alpha, out=one_minus_alpha)
+        np.maximum(one_minus_alpha, 1e-6, out=one_minus_alpha)
+        np.divide(suffix, one_minus_alpha, out=suffix)
+        dl_dalpha = u  # buffer reuse: becomes T_before * u - suffix in place
+        np.multiply(chunk.t_before, u, out=dl_dalpha)
+        np.subtract(dl_dalpha, suffix, out=dl_dalpha)
+
+        # Gradient flows only through alphas that actually participated and
+        # were not clamped at ALPHA_MAX.
+        valid = pool.take("bwd.valid", shape, np.bool_)
+        np.greater(alpha, 0.0, out=valid)
+        not_clamped = pool.take("bwd.not_clamped", shape, np.bool_)
+        np.logical_not(chunk.clamped, out=not_clamped)
+        np.logical_and(valid, not_clamped, out=valid)
+        np.multiply(dl_dalpha, valid, out=dl_dalpha)
+
+        # alpha = opacity * gval, so on the valid support gval = alpha /
+        # opacity and dL/dpower = dL/dalpha * alpha exactly.
+        dl_dpower = dl_dalpha
+        np.multiply(dl_dalpha, alpha, out=dl_dpower)
+        opac_safe = np.where(chunk.opac > 0.0, chunk.opac, 1.0)
+        _scatter_add(acc.d_opacity_sigmoid, ids, dl_dpower.sum(axis=1) / opac_safe)
+
+        # Pixel offsets d = pixel - mean2d, rebuilt from the cached tile
+        # origins and the grid's per-shape offset cache.
+        col_off, row_off, _ = grid.tile_offsets(chunk.tile_w, chunk.tile_h)
+        px = chunk.origin_x[:, None] + col_off[None, :] + 0.5
+        py = chunk.origin_y[:, None] + row_off[None, :] + 0.5
+        dx = pool.take("bwd.dx", shape, np.float64)
+        dy = pool.take("bwd.dy", shape, np.float64)
+        np.subtract(px[:, :, None], means_x[ids][:, None, :], out=dx)
+        np.subtract(py[:, :, None], means_y[ids][:, None, :], out=dy)
+
+        # dpower/dmean2d = A @ d: per-Gaussian pixel sums of dL/dpower * d,
+        # contracted with the (symmetric) conic outside the pixel sum.
+        sum_x = np.einsum("tpg,tpg->tg", dl_dpower, dx)
+        sum_y = np.einsum("tpg,tpg->tg", dl_dpower, dy)
+        c00 = conic00[ids]
+        c01 = conic01[ids]
+        c11 = conic11[ids]
+        _scatter_add(
+            acc.d_mean2d,
+            ids,
+            np.stack([c00 * sum_x + c01 * sum_y, c01 * sum_x + c11 * sum_y], axis=-1),
+        )
+
+        # dpower/dSigma2D^-1 = -0.5 d d^T ; chain to Sigma2D via -A dA A.
+        d_conic = np.empty((num_tiles, padded, 2, 2))
+        d_conic[..., 0, 0] = np.einsum("tpg,tpg,tpg->tg", dl_dpower, dx, dx)
+        d_conic[..., 0, 1] = np.einsum("tpg,tpg,tpg->tg", dl_dpower, dx, dy)
+        d_conic[..., 1, 0] = d_conic[..., 0, 1]
+        d_conic[..., 1, 1] = np.einsum("tpg,tpg,tpg->tg", dl_dpower, dy, dy)
+        d_conic *= -0.5
+        conics_g = projection.conics[ids]
+        d_cov2d_chunk = -np.einsum("tgij,tgjk,tgkl->tgil", conics_g, d_conic, conics_g)
+        _scatter_add(acc.d_cov2d, ids, d_cov2d_chunk)
+
+
+def render_backward(
+    model: GaussianModel,
+    camera: Camera,
+    result: RasterizationResult,
+    grad_color: np.ndarray,
+    grad_depth: np.ndarray | None = None,
+    grad_silhouette: np.ndarray | None = None,
+    compute_pose_gradient: bool = False,
+    backend: str = "auto",
+    perf: PerfRecorder | None = None,
+) -> tuple[GaussianGradients, PoseGradients | None]:
+    """Back-propagate image-space gradients to Gaussian and pose parameters.
+
+    Args:
+        model: the Gaussian model that produced ``result``.
+        camera: the camera that produced ``result``.
+        result: the forward :class:`RasterizationResult`.
+        grad_color: (H, W, 3) gradient of the loss w.r.t. the rendered color.
+        grad_depth: optional (H, W) gradient w.r.t. the rendered depth.
+        grad_silhouette: optional (H, W) gradient w.r.t. the silhouette.
+        compute_pose_gradient: also compute the camera-pose gradient.
+        backend: ``"auto"`` / ``"bucketed"`` use the bucketed accumulator
+            (reusing ``result.forward_cache`` when it is still valid,
+            rebuilding the intermediates once otherwise); ``"reference"``
+            runs the original per-tile loop.
+        perf: optional :class:`repro.perf.PerfRecorder` fed the
+            ``raster/backward*`` timers and ``raster.backward_*`` counters.
+
+    Returns:
+        ``(gaussian_gradients, pose_gradients)``; the second element is
+        None unless ``compute_pose_gradient`` is True.
+    """
+    if backend not in _BACKWARD_BACKENDS:
+        raise ValueError(
+            f"unknown backward backend {backend!r}; expected one of {_BACKWARD_BACKENDS}"
+        )
+    perf = perf or NULL_RECORDER
+    count = len(model)
+    grads = GaussianGradients.zeros(count)
+    grad_color = np.asarray(grad_color, dtype=np.float64)
+    acc = _BackwardAccumulators.zeros(count)
+
+    perf.count("raster.backward_calls")
+    with perf.section("raster/backward_accumulate"):
+        if backend == "reference":
+            _accumulate_reference(model, result, grad_color, grad_depth, grad_silhouette, acc)
+        else:
+            _accumulate_bucketed(
+                model, result, grad_color, grad_depth, grad_silhouette, acc, perf
+            )
+
+    projection = result.projection
+    d_mean2d = acc.d_mean2d
+    d_cov2d = acc.d_cov2d
+    grads.colors += acc.colors
 
     # ------------------------------------------------------------------
     # Chain the 2D gradients back to 3D Gaussian parameters.
     # ------------------------------------------------------------------
-    jac = projection.proj_jacobians
-    view_rot = projection.view_rotation
+    with perf.section("raster/backward_chain"):
+        jac = projection.proj_jacobians
+        view_rot = projection.view_rotation
 
-    # Camera-space point gradient: through the projected mean and the depth.
-    d_cam_point = np.einsum("gij,gi->gj", jac, d_mean2d)
-    d_cam_point[:, 2] += d_depth_per_gaussian
-    grads.means += d_cam_point @ view_rot
+        # Camera-space point gradient: through the projected mean and the depth.
+        d_cam_point = np.einsum("gij,gi->gj", jac, d_mean2d)
+        d_cam_point[:, 2] += acc.d_depth_per_gaussian
+        grads.means += d_cam_point @ view_rot
 
-    # Covariance chain: Sigma2D = T Sigma3D T^T with T = J W.
-    t_mats = jac @ view_rot[None, :, :]
-    d_cov3d = np.einsum("gji,gjk,gkl->gil", t_mats, d_cov2d, t_mats)
-    m_mats = projection.m_mats
-    d_m = 2.0 * np.einsum("gij,gjk->gik", d_cov3d, m_mats)
+        # Covariance chain: Sigma2D = T Sigma3D T^T with T = J W.
+        t_mats = jac @ view_rot[None, :, :]
+        d_cov3d = np.einsum("gji,gjk,gkl->gil", t_mats, d_cov2d, t_mats)
+        m_mats = projection.m_mats
+        d_m = 2.0 * np.einsum("gij,gjk->gik", d_cov3d, m_mats)
 
-    rotmats = projection.rotmats
-    scales = model.scales
-    # M = R diag(s):   dL/ds_k = column_k(R) . column_k(dL/dM)
-    d_scales = np.einsum("gik,gik->gk", rotmats, d_m)
-    grads.log_scales += d_scales * scales
+        rotmats = projection.rotmats
+        scales = model.scales
+        # M = R diag(s):   dL/ds_k = column_k(R) . column_k(dL/dM)
+        d_scales = np.einsum("gik,gik->gk", rotmats, d_m)
+        grads.log_scales += d_scales * scales
 
-    # dL/dR = dL/dM diag(s)
-    d_rot = d_m * scales[:, None, :]
-    dr_dq = _quat_rotmat_jacobians(model.quats)
-    d_quat_unit = np.einsum("gqij,gij->gq", dr_dq, d_rot)
-    # Project through the quaternion normalization q = q_raw / |q_raw|.
-    q_raw = model.quats
-    norms = np.linalg.norm(q_raw, axis=1, keepdims=True)
-    norms = np.where(norms < 1e-12, 1.0, norms)
-    q_unit = q_raw / norms
-    grads.quats += (d_quat_unit - q_unit * np.sum(d_quat_unit * q_unit, axis=1, keepdims=True)) / norms
+        # dL/dR = dL/dM diag(s)
+        d_rot = d_m * scales[:, None, :]
+        dr_dq = _quat_rotmat_jacobians(model.quats)
+        d_quat_unit = np.einsum("gqij,gij->gq", dr_dq, d_rot)
+        # Project through the quaternion normalization q = q_raw / |q_raw|.
+        q_raw = model.quats
+        norms = np.linalg.norm(q_raw, axis=1, keepdims=True)
+        norms = np.where(norms < 1e-12, 1.0, norms)
+        q_unit = q_raw / norms
+        grads.quats += (
+            d_quat_unit - q_unit * np.sum(d_quat_unit * q_unit, axis=1, keepdims=True)
+        ) / norms
 
-    # Opacity logits.
-    sig = model.alphas
-    grads.opacities += d_opacity_sigmoid * sig * (1.0 - sig)
+        # Opacity logits.
+        sig = model.alphas
+        grads.opacities += acc.d_opacity_sigmoid * sig * (1.0 - sig)
 
-    pose_grads: PoseGradients | None = None
-    if compute_pose_gradient:
-        cam_points = projection.cam_points
-        d_translation = d_cam_point.sum(axis=0)
-        d_rotation = np.cross(cam_points, d_cam_point).sum(axis=0)
-        pose_grads = PoseGradients(translation=d_translation, rotation=d_rotation)
+        pose_grads: PoseGradients | None = None
+        if compute_pose_gradient:
+            cam_points = projection.cam_points
+            d_translation = d_cam_point.sum(axis=0)
+            d_rotation = np.cross(cam_points, d_cam_point).sum(axis=0)
+            pose_grads = PoseGradients(translation=d_translation, rotation=d_rotation)
 
     return grads, pose_grads

@@ -10,6 +10,19 @@ Besides color, the rasterizer renders the expected depth and a silhouette
 and can optionally record per-Gaussian contribution statistics (the alpha
 values that AGS's Gaussian contribution-aware mapping consumes) and
 per-tile workload statistics (consumed by the hardware simulator).
+
+Two execution backends share the same semantics:
+
+* ``backend="bucketed"`` (the default) groups non-empty tiles into padded
+  size buckets and renders each bucket as one vectorized 3-D pass over
+  ``(tiles, pixels, gaussians)``.  It serves every combination of the
+  statistics flags, and can additionally retain the per-bucket blending
+  intermediates in a :class:`ForwardCache` so the backward pass
+  (:func:`repro.gaussians.gradients.render_backward`) reuses them instead
+  of re-running the forward per tile.
+* ``backend="reference"`` is the original per-tile loop built on
+  :func:`tile_forward` — the executable specification the bucketed engine
+  is property-tested against (``tests/test_rasterizer_bucketed_stats.py``).
 """
 
 from __future__ import annotations
@@ -21,15 +34,17 @@ import numpy as np
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.projection import ProjectionResult, project_gaussians
-from repro.gaussians.scratch import ScratchPool
+from repro.gaussians.scratch import ScratchPool, scatter_add
 from repro.gaussians.tiles import TILE_SIZE, GaussianTable, TileGrid, assign_tiles
 
 __all__ = [
     "ALPHA_MIN",
     "ALPHA_MAX",
     "TRANSMITTANCE_EPS",
+    "ForwardCache",
     "RasterizationResult",
     "TileWorkload",
+    "build_forward_cache",
     "render",
     "tile_forward",
 ]
@@ -41,6 +56,8 @@ ALPHA_MIN = 1.0 / 255.0
 ALPHA_MAX = 0.99
 # Early termination threshold on the transmittance T (paper: 1e-4).
 TRANSMITTANCE_EPS = 1e-4
+
+_RENDER_BACKENDS = ("bucketed", "reference")
 
 
 @dataclasses.dataclass
@@ -65,6 +82,82 @@ class TileWorkload:
 
 
 @dataclasses.dataclass
+class _CachedChunk:
+    """Forward intermediates of one bucketed chunk, retained for backward.
+
+    Arrays of shape ``(tiles, pixels, padded)`` are views into the owning
+    :class:`ForwardCache`'s scratch pool; padding entries carry zero
+    opacity and therefore zero ``alpha`` / ``weights``, so the backward
+    accumulation needs no padding mask (their gradient terms vanish).
+    """
+
+    tile_indices: np.ndarray  # (T,) flat tile indices in the grid
+    tile_w: int
+    tile_h: int
+    lengths: np.ndarray  # (T,) real (unpadded) table lengths
+    ids: np.ndarray  # (T, G) Gaussian ids, zero-padded
+    opac: np.ndarray  # (T, G) sigmoid opacities, zero-padded
+    origin_x: np.ndarray  # (T,) tile pixel origins
+    origin_y: np.ndarray
+    flat_index: np.ndarray  # (T * P,) flat image pixel indices
+    alpha: np.ndarray  # (T, P, G) clamped, termination-zeroed alphas
+    t_before: np.ndarray  # (T, P, G) exclusive transmittances
+    weights: np.ndarray  # (T, P, G) blending weights T * alpha
+    clamped: np.ndarray  # (T, P, G) bool: raw alpha exceeded ALPHA_MAX
+
+
+class ForwardCache:
+    """Retained per-bucket forward intermediates for the fused backward pass.
+
+    The cache owns a :class:`ScratchPool`; every ``render(..., cache=...)``
+    call (or :func:`build_forward_cache`) overwrites the pool's buffers in
+    place, so one cache instance can be reused across optimizer iterations
+    without reallocating — which is exactly how the SLAM tracker and mapper
+    use it (one forward per iteration, backward consumes the cache).
+
+    A cache is only valid for the *most recent* render that populated it:
+    ``generation`` is bumped on every populate and stamped onto the
+    :class:`RasterizationResult`, and the backward pass rebuilds the
+    intermediates when the stamps disagree rather than silently reading
+    overwritten buffers.
+    """
+
+    def __init__(self, pool: ScratchPool | None = None) -> None:
+        self.pool = pool or ScratchPool()
+        self.chunks: list[_CachedChunk] = []
+        self.height = 0
+        self.width = 0
+        self.dtype: np.dtype | None = None
+        self.generation = 0
+
+    def begin(self, height: int, width: int, dtype: np.dtype) -> None:
+        """Start a new populate: invalidate previous contents."""
+        self.chunks.clear()
+        self.height = int(height)
+        self.width = int(width)
+        self.dtype = np.dtype(dtype)
+        self.generation += 1
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total retained (tile, pixel, Gaussian) blending entries."""
+        return int(sum(chunk.alpha.size for chunk in self.chunks))
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of non-empty tiles covered by the cache."""
+        return int(sum(len(chunk.tile_indices) for chunk in self.chunks))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing scratch pool."""
+        return self.pool.nbytes
+
+
+@dataclasses.dataclass
 class RasterizationResult:
     """Output of a forward rendering pass.
 
@@ -81,6 +174,11 @@ class RasterizationResult:
         gaussian_pixels_touched: (N,) pixels for which alpha was evaluated.
         tile_workloads: per-tile workload statistics.
         active_mask: the Gaussian mask that was rendered (None = all).
+        forward_cache: the :class:`ForwardCache` populated by this render
+            (None unless ``render(..., cache=...)`` was used); consumed by
+            the fused backward pass.
+        forward_cache_generation: the cache generation this result belongs
+            to — the backward pass rebuilds when the cache moved on.
     """
 
     color: np.ndarray
@@ -94,6 +192,8 @@ class RasterizationResult:
     gaussian_pixels_touched: np.ndarray
     tile_workloads: list[TileWorkload]
     active_mask: np.ndarray | None = None
+    forward_cache: "ForwardCache | None" = None
+    forward_cache_generation: int = -1
 
     @property
     def total_pairs_computed(self) -> int:
@@ -108,12 +208,7 @@ class RasterizationResult:
 
 def _tile_pixel_centers(grid: TileGrid, table: GaussianTable) -> tuple[np.ndarray, tuple[int, int, int, int]]:
     """Return (P, 2) pixel-center coordinates of a tile and its bounds."""
-    x0, x1, y0, y1 = grid.pixel_bounds(table)
-    xs = np.arange(x0, x1) + 0.5
-    ys = np.arange(y0, y1) + 0.5
-    grid_x, grid_y = np.meshgrid(xs, ys)
-    pixels = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
-    return pixels, (x0, x1, y0, y1)
+    return grid.pixel_centers(table), grid.pixel_bounds(table)
 
 
 def tile_forward(
@@ -125,8 +220,8 @@ def tile_forward(
 ) -> dict[str, np.ndarray]:
     """Compute the blending intermediates of one tile.
 
-    This helper is shared by the forward renderer and the backward pass so
-    that both operate on identical quantities.
+    This helper is shared by the reference forward renderer and the
+    reference backward pass so that both operate on identical quantities.
 
     Args:
         table: the tile's depth-sorted Gaussian table.
@@ -209,11 +304,42 @@ def tile_forward(
 
 
 # Upper bound on (tiles * pixels * gaussians) elements processed per
-# batched fast-path chunk; bounds scratch memory at a few tens of MB.
+# batched chunk; bounds transient scratch memory at a few tens of MB.
 _FAST_CHUNK_ELEMENTS = 2_000_000
 
 
-def _render_fast(
+@dataclasses.dataclass
+class _BucketedStats:
+    """Statistics accumulated by the bucketed engine (stats mode only)."""
+
+    max_alpha: np.ndarray
+    noncontrib: np.ndarray
+    touched: np.ndarray
+    workloads: list[TileWorkload] | None
+
+
+def _bucket_tables(tile_grid: TileGrid) -> dict[tuple[int, int, int], list[GaussianTable]]:
+    """Group non-empty tiles by (tile shape, padded table length).
+
+    Table lengths are rounded up to quarter-power-of-two steps: few enough
+    distinct buckets to amortize dispatch, at most ~25 % padding.
+    """
+    buckets: dict[tuple[int, int, int], list[GaussianTable]] = {}
+    for table in tile_grid.tables:
+        num_gaussians = len(table)
+        if num_gaussians == 0:
+            continue
+        tile_w, tile_h = tile_grid.tile_shape(table)
+        if num_gaussians <= 16:
+            padded = 16
+        else:
+            step = max((1 << (num_gaussians - 1).bit_length()) // 4, 1)
+            padded = ((num_gaussians + step - 1) // step) * step
+        buckets.setdefault((tile_w, tile_h, padded), []).append(table)
+    return buckets
+
+
+def _render_bucketed(
     projection: ProjectionResult,
     tile_grid: TileGrid,
     colors: np.ndarray,
@@ -221,25 +347,47 @@ def _render_fast(
     height: int,
     width: int,
     dtype: np.dtype,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Stats-free batched tile renderer: color / depth / silhouette / final_t.
+    record_workloads: bool = False,
+    record_contributions: bool = False,
+    contribution_threshold: float = ALPHA_MIN,
+    cache: ForwardCache | None = None,
+    write_images: bool = True,
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None, _BucketedStats | None]:
+    """Bucketed tile engine: images, optional statistics, optional cache.
 
     Tiles are grouped into buckets of equal pixel count and similar
-    Gaussian-table length (next power of two); each bucket is padded to a
-    common length with zero-opacity entries — numerically exact, since a
-    zero alpha neither blends nor attenuates — and rendered as one 3-D
-    vectorized pass over ``(tiles, pixels, gaussians)``.  This removes the
-    per-tile Python/NumPy dispatch overhead that dominates the per-tile
-    loop, skips the ``d`` / ``gvals`` / ``clamped`` intermediates, the
-    contribution scatter-adds and the workload records, runs in ``dtype``
-    end-to-end, and reuses scratch buffers across buckets.  Outputs agree
-    with the stats path to float64 round-off (same per-element operation
-    order; only reduction blocking differs).
+    Gaussian-table length (next quarter-power-of-two); each bucket is
+    padded to a common length with zero-opacity entries — numerically
+    exact, since a zero alpha neither blends nor attenuates — and rendered
+    as one 3-D vectorized pass over ``(tiles, pixels, gaussians)``.  The
+    per-element operation order matches :func:`tile_forward`, so blended
+    values agree with the reference path bit-for-bit and the derived
+    statistics (integer counts, thresholds, maxima) are exact; only
+    reduction blocking of the final matmuls differs (float64 round-off on
+    the images).
+
+    When ``cache`` is given, the clamp mask and the post-termination
+    ``alpha`` / ``t_before`` / ``weights`` of every chunk are written to
+    persistent pool buffers and recorded as :class:`_CachedChunk`s for the
+    fused backward pass; otherwise the blending temporaries live in
+    reusable per-call scratch.  ``write_images=False`` skips the image
+    compositing entirely (used when only the cache is needed).
     """
-    color = np.zeros((height, width, 3), dtype=dtype)
-    depth = np.zeros((height, width), dtype=dtype)
-    silhouette = np.zeros((height, width), dtype=dtype)
-    final_t = np.ones((height, width), dtype=dtype)
+    record_stats = record_workloads or record_contributions
+    count = len(opacities_sigmoid)
+    num_tiles_total = len(tile_grid.tables)
+
+    color = depth = silhouette = final_t = None
+    color_flat = depth_flat = silhouette_flat = final_t_flat = None
+    if write_images:
+        color = np.zeros((height, width, 3), dtype=dtype)
+        depth = np.zeros((height, width), dtype=dtype)
+        silhouette = np.zeros((height, width), dtype=dtype)
+        final_t = np.ones((height, width), dtype=dtype)
+        color_flat = color.reshape(-1, 3)
+        depth_flat = depth.reshape(-1)
+        silhouette_flat = silhouette.reshape(-1)
+        final_t_flat = final_t.reshape(-1)
 
     # Per-Gaussian quantities gathered once per frame, flat and contiguous
     # in the rendering dtype (per-bucket work then only fancy-indexes them).
@@ -252,51 +400,53 @@ def _render_fast(
     g_depths_all = np.ascontiguousarray(projection.depths, dtype=dtype)
     g_opac_all = np.ascontiguousarray(opacities_sigmoid, dtype=dtype)
 
-    # ---- Bucket non-empty tiles by (tile shape, padded table length) ----
-    # Table lengths are rounded up to quarter-power-of-two steps: few
-    # enough distinct buckets to amortize dispatch, at most ~25 % padding.
-    buckets: dict[tuple[int, int, int], list[GaussianTable]] = {}
-    for table in tile_grid.tables:
-        num_gaussians = len(table)
-        if num_gaussians == 0:
-            continue
-        x0, x1, y0, y1 = tile_grid.pixel_bounds(table)
-        if num_gaussians <= 16:
-            padded = 16
-        else:
-            step = max((1 << (num_gaussians - 1).bit_length()) // 4, 1)
-            padded = ((num_gaussians + step - 1) // step) * step
-        buckets.setdefault((x1 - x0, y1 - y0, padded), []).append(table)
+    if record_stats:
+        max_alpha = np.zeros(count)
+        noncontrib = np.zeros(count, dtype=np.int64)
+        touched = np.zeros(count, dtype=np.int64)
+    if record_workloads:
+        pairs_computed = np.zeros(num_tiles_total, dtype=np.int64)
+        pairs_blended = np.zeros(num_tiles_total, dtype=np.int64)
+        tile_lengths = np.zeros(num_tiles_total, dtype=np.int64)
+        per_pixel_counts: dict[int, np.ndarray] = {}
+    thresh = dtype.type(contribution_threshold)
 
-    pool = ScratchPool()
+    if cache is not None:
+        cache.begin(height, width, dtype)
+        pool = cache.pool
+    else:
+        pool = ScratchPool()
     eps = dtype.type(TRANSMITTANCE_EPS)
-    color_flat = color.reshape(-1, 3)
-    depth_flat = depth.reshape(-1)
-    silhouette_flat = silhouette.reshape(-1)
-    final_t_flat = final_t.reshape(-1)
 
-    for (tile_w, tile_h, padded), tables in buckets.items():
+    chunk_index = 0
+    for (tile_w, tile_h, padded), tables in _bucket_tables(tile_grid).items():
         num_pixels = tile_w * tile_h
+        col_off, row_off, _ = tile_grid.tile_offsets(tile_w, tile_h)
         max_tiles = max(_FAST_CHUNK_ELEMENTS // (num_pixels * padded), 1)
         for chunk_start in range(0, len(tables), max_tiles):
             chunk = tables[chunk_start : chunk_start + max_tiles]
             num_tiles = len(chunk)
 
             ids = np.zeros((num_tiles, padded), dtype=np.int64)
-            opac = pool.take("opac", (num_tiles, padded), dtype)
-            opac[:] = 0.0  # zero-opacity padding: exact no-op entries
+            if cache is not None:
+                opac = np.zeros((num_tiles, padded), dtype=dtype)
+            else:
+                opac = pool.take("opac", (num_tiles, padded), dtype)
+                opac[:] = 0.0  # zero-opacity padding: exact no-op entries
+            lengths = np.empty(num_tiles, dtype=np.int64)
+            tile_indices = np.empty(num_tiles, dtype=np.int64)
             origin_x = np.empty(num_tiles, dtype=np.int64)
             origin_y = np.empty(num_tiles, dtype=np.int64)
             for slot, table in enumerate(chunk):
                 table_ids = table.gaussian_ids
                 ids[slot, : len(table_ids)] = table_ids
                 opac[slot, : len(table_ids)] = g_opac_all[table_ids]
+                lengths[slot] = len(table_ids)
+                tile_indices[slot] = table.tile_y * tile_grid.tiles_x + table.tile_x
                 origin_x[slot] = table.tile_x * tile_grid.tile_size
                 origin_y[slot] = table.tile_y * tile_grid.tile_size
 
             # Pixel centers (tiles, pixels) and flat image indices.
-            col_off = np.tile(np.arange(tile_w), tile_h)
-            row_off = np.repeat(np.arange(tile_h), tile_w)
             px = (origin_x[:, None] + col_off[None, :] + 0.5).astype(dtype)
             py = (origin_y[:, None] + row_off[None, :] + 0.5).astype(dtype)
             flat_index = ((origin_y[:, None] + row_off[None, :]) * width
@@ -323,29 +473,136 @@ def _render_fast(
             np.multiply(power, dtype.type(-0.5), out=power)
             np.minimum(power, dtype.type(0.0), out=power)
 
-            alpha = np.exp(power, out=power)
+            if cache is not None:
+                alpha = pool.take(f"cache.alpha.{chunk_index}", shape, dtype)
+                np.exp(power, out=alpha)
+                t_before = pool.take(f"cache.t_before.{chunk_index}", shape, dtype)
+                clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+            else:
+                alpha = np.exp(power, out=power)
+                t_before = pool.take("t_before", shape, dtype)
+                clamped = None
             np.multiply(opac[:, None, :], alpha, out=alpha)
+            if clamped is not None:
+                np.greater(alpha, dtype.type(ALPHA_MAX), out=clamped)
             np.minimum(alpha, dtype.type(ALPHA_MAX), out=alpha)
             alpha[alpha < dtype.type(ALPHA_MIN)] = 0.0
 
             one_minus = np.subtract(dtype.type(1.0), alpha, out=dx)
-            t_before = pool.take("t_before", shape, dtype)
             np.cumprod(one_minus, axis=2, out=t_before)
             t_before[:, :, 1:] = t_before[:, :, :-1]
             t_before[:, :, 0] = 1.0
             terminated = t_before < eps
             alpha[terminated] = 0.0
-            weights = np.multiply(t_before, alpha, out=dy)
+            if cache is not None:
+                weights = pool.take(f"cache.weights.{chunk_index}", shape, dtype)
+                np.multiply(t_before, alpha, out=weights)
+            else:
+                weights = np.multiply(t_before, alpha, out=dy)
 
-            color_flat[flat_index] = (weights @ g_colors_all[ids]).reshape(-1, 3)
-            depth_flat[flat_index] = np.matmul(
-                weights, g_depths_all[ids][:, :, None]
-            ).reshape(-1)
-            silhouette_flat[flat_index] = weights.sum(axis=2).reshape(-1)
-            np.subtract(dtype.type(1.0), alpha, out=one_minus)
-            final_t_flat[flat_index] = np.prod(one_minus, axis=2).reshape(-1)
+            if write_images:
+                color_flat[flat_index] = (weights @ g_colors_all[ids]).reshape(-1, 3)
+                depth_flat[flat_index] = np.matmul(
+                    weights, g_depths_all[ids][:, :, None]
+                ).reshape(-1)
+                silhouette_flat[flat_index] = weights.sum(axis=2).reshape(-1)
+                np.subtract(dtype.type(1.0), alpha, out=one_minus)
+                final_t_flat[flat_index] = np.prod(one_minus, axis=2).reshape(-1)
 
-    return color, depth, silhouette, final_t
+            if record_stats:
+                # Padding columns carry zero alpha/weights but their ids
+                # alias Gaussian 0, so every per-Gaussian scatter is
+                # restricted to the real (unpadded) table entries.
+                real = np.arange(padded)[None, :] < lengths[:, None]
+                real_ids = ids[real]
+                np.maximum.at(
+                    max_alpha, real_ids, alpha.max(axis=1)[real].astype(np.float64)
+                )
+                noncontrib_tile = (weights < thresh).sum(axis=1)
+                scatter_add(noncontrib, real_ids, noncontrib_tile[real])
+                scatter_add(touched, real_ids, num_pixels)
+                if record_workloads:
+                    blended = alpha > 0.0
+                    computed = ~terminated
+                    computed &= real[:, None, :]
+                    pairs_computed[tile_indices] = computed.sum(axis=(1, 2))
+                    pairs_blended[tile_indices] = blended.sum(axis=(1, 2))
+                    tile_lengths[tile_indices] = lengths
+                    blended_per_pixel = blended.sum(axis=2).astype(np.int64)
+                    for slot in range(num_tiles):
+                        per_pixel_counts[int(tile_indices[slot])] = blended_per_pixel[slot]
+
+            if cache is not None:
+                cache.chunks.append(
+                    _CachedChunk(
+                        tile_indices=tile_indices,
+                        tile_w=tile_w,
+                        tile_h=tile_h,
+                        lengths=lengths,
+                        ids=ids,
+                        opac=opac,
+                        origin_x=origin_x,
+                        origin_y=origin_y,
+                        flat_index=flat_index,
+                        alpha=alpha,
+                        t_before=t_before,
+                        weights=weights,
+                        clamped=clamped,
+                    )
+                )
+            chunk_index += 1
+
+    stats = None
+    if record_stats:
+        workloads: list[TileWorkload] | None = None
+        if record_workloads:
+            empty_counts = np.zeros(0, dtype=np.int64)
+            workloads = [
+                TileWorkload(
+                    tile_index=tile_index,
+                    num_gaussians=int(tile_lengths[tile_index]),
+                    pairs_computed=int(pairs_computed[tile_index]),
+                    pairs_blended=int(pairs_blended[tile_index]),
+                    per_pixel_counts=per_pixel_counts.get(tile_index, empty_counts),
+                )
+                for tile_index in range(num_tiles_total)
+            ]
+        stats = _BucketedStats(
+            max_alpha=max_alpha, noncontrib=noncontrib, touched=touched, workloads=workloads
+        )
+    return color, depth, silhouette, final_t, stats
+
+
+def build_forward_cache(
+    projection: ProjectionResult,
+    tile_grid: TileGrid,
+    colors: np.ndarray,
+    opacities_sigmoid: np.ndarray,
+    height: int,
+    width: int,
+    dtype=np.float64,
+    cache: ForwardCache | None = None,
+) -> ForwardCache:
+    """Populate a :class:`ForwardCache` without compositing any images.
+
+    Used by the bucketed backward pass when its ``RasterizationResult``
+    does not carry a (still valid) cache: the blending intermediates are
+    recomputed once, bucketed, which is still far cheaper than the
+    reference backward's per-tile re-runs of :func:`tile_forward`.
+    """
+    cache = cache or ForwardCache()
+    _render_bucketed(
+        projection,
+        tile_grid,
+        colors,
+        opacities_sigmoid,
+        height,
+        width,
+        np.dtype(dtype),
+        cache=cache,
+        write_images=False,
+    )
+    return cache
 
 
 def render(
@@ -359,6 +616,8 @@ def render(
     tile_grid: TileGrid | None = None,
     record_contributions: bool = True,
     dtype=None,
+    backend: str | None = None,
+    cache: ForwardCache | None = None,
 ) -> RasterizationResult:
     """Render ``model`` from ``camera``.
 
@@ -376,17 +635,28 @@ def render(
         record_contributions: collect the per-Gaussian contribution
             statistics (``gaussian_max_alpha`` / ``gaussian_noncontrib_pixels``
             / ``gaussian_pixels_touched``).  When both this and
-            ``record_workloads`` are False, rendering takes a stats-free
-            fast path that skips every per-(pixel, Gaussian) intermediate
-            except the blending itself; the statistics arrays come back
-            zero-filled.
-        dtype: floating dtype of the fast path (default float64);
+            ``record_workloads`` are False, rendering skips every
+            per-(pixel, Gaussian) statistic; the statistics arrays come
+            back zero-filled.
+        dtype: floating dtype of the bucketed backend (default float64);
             ``np.float32`` roughly halves time and memory at ~1e-4 image
-            error.  The stats-recording path always computes in float64.
+            error (statistics counts may shift at threshold boundaries in
+            float32).  The reference backend always computes in float64.
+        backend: ``"bucketed"`` (default) or ``"reference"`` — the
+            original per-tile loop kept as the executable specification.
+        cache: optional :class:`ForwardCache` to fill with the blending
+            intermediates (bucketed backend only); the fused backward pass
+            then reuses them instead of re-running the forward.
 
     Returns:
         A :class:`RasterizationResult`.
     """
+    backend = backend or "bucketed"
+    if backend not in _RENDER_BACKENDS:
+        raise ValueError(f"unknown render backend {backend!r}; expected one of {_RENDER_BACKENDS}")
+    if cache is not None and backend != "bucketed":
+        raise ValueError("cache= requires backend='bucketed'")
+
     intr = camera.intrinsics
     height, width = intr.height, intr.width
     if projection is None:
@@ -400,8 +670,10 @@ def render(
 
     count = len(model)
     opac = model.alphas
-    if not record_workloads and not record_contributions:
-        color, depth, silhouette, final_t = _render_fast(
+    mask_out = None if active_mask is None else np.asarray(active_mask, dtype=bool)
+
+    if backend == "bucketed":
+        color, depth, silhouette, final_t, stats = _render_bucketed(
             projection,
             tile_grid,
             model.colors,
@@ -409,7 +681,19 @@ def render(
             height,
             width,
             np.dtype(np.float64 if dtype is None else dtype),
+            record_workloads=record_workloads,
+            record_contributions=record_contributions,
+            contribution_threshold=contribution_threshold,
+            cache=cache,
         )
+        if stats is None:
+            max_alpha = np.zeros(count)
+            noncontrib = np.zeros(count, dtype=np.int64)
+            touched = np.zeros(count, dtype=np.int64)
+            workloads: list[TileWorkload] = []
+        else:
+            max_alpha, noncontrib, touched = stats.max_alpha, stats.noncontrib, stats.touched
+            workloads = stats.workloads if stats.workloads is not None else []
         return RasterizationResult(
             color=color,
             depth=depth,
@@ -417,11 +701,13 @@ def render(
             final_transmittance=final_t,
             projection=projection,
             tile_grid=tile_grid,
-            gaussian_max_alpha=np.zeros(count),
-            gaussian_noncontrib_pixels=np.zeros(count, dtype=np.int64),
-            gaussian_pixels_touched=np.zeros(count, dtype=np.int64),
-            tile_workloads=[],
-            active_mask=None if active_mask is None else np.asarray(active_mask, dtype=bool),
+            gaussian_max_alpha=max_alpha,
+            gaussian_noncontrib_pixels=noncontrib,
+            gaussian_pixels_touched=touched,
+            tile_workloads=workloads,
+            active_mask=mask_out,
+            forward_cache=cache,
+            forward_cache_generation=cache.generation if cache is not None else -1,
         )
 
     color = np.zeros((height, width, 3))
@@ -432,7 +718,7 @@ def render(
     max_alpha = np.zeros(count)
     noncontrib = np.zeros(count, dtype=np.int64)
     touched = np.zeros(count, dtype=np.int64)
-    workloads: list[TileWorkload] = []
+    workloads = []
 
     for tile_index, table in enumerate(tile_grid.tables):
         if len(table) == 0:
@@ -492,5 +778,5 @@ def render(
         gaussian_noncontrib_pixels=noncontrib,
         gaussian_pixels_touched=touched,
         tile_workloads=workloads,
-        active_mask=None if active_mask is None else np.asarray(active_mask, dtype=bool),
+        active_mask=mask_out,
     )

@@ -49,9 +49,50 @@ class TileGrid:
     tiles_x: int
     tiles_y: int
     tables: list[GaussianTable]
+    # Per-shape pixel-offset cache shared by every consumer of this grid
+    # (forward tiles, bucketed backward, stats recording).  A grid only has
+    # a handful of distinct tile shapes (interior + ragged edge tiles), so
+    # the meshgrid work happens once per shape instead of once per tile per
+    # render/backward call.
+    _shape_cache: dict = dataclasses.field(default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.tables)
+
+    def tile_offsets(self, tile_w: int, tile_h: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached row-major local pixel offsets for a ``tile_w`` x ``tile_h`` tile.
+
+        Returns ``(col_off, row_off, centers)``: (P,) int64 column/row
+        offsets of each pixel inside the tile and the matching (P, 2)
+        float64 local pixel-center coordinates (offset + 0.5).  The arrays
+        are cached per shape and shared — treat them as read-only.
+        """
+        key = (tile_w, tile_h)
+        cached = self._shape_cache.get(key)
+        if cached is None:
+            col_off = np.tile(np.arange(tile_w, dtype=np.int64), tile_h)
+            row_off = np.repeat(np.arange(tile_h, dtype=np.int64), tile_w)
+            centers = np.stack([col_off + 0.5, row_off + 0.5], axis=1)
+            cached = (col_off, row_off, centers)
+            self._shape_cache[key] = cached
+        return cached
+
+    def pixel_centers(self, table: GaussianTable) -> np.ndarray:
+        """Return (P, 2) row-major pixel-center coordinates of a tile.
+
+        Equivalent to the per-tile ``meshgrid`` construction the renderer
+        and backward pass used to repeat for every tile on every call, but
+        built from the per-shape offset cache (only the origin shift is
+        computed per tile).
+        """
+        x0, _, y0, _ = self.pixel_bounds(table)
+        _, _, centers = self.tile_offsets(*self.tile_shape(table))
+        return centers + np.array([float(x0), float(y0)])
+
+    def tile_shape(self, table: GaussianTable) -> tuple[int, int]:
+        """Return ``(tile_w, tile_h)`` of a tile (edge tiles may be ragged)."""
+        x0, x1, y0, y1 = self.pixel_bounds(table)
+        return x1 - x0, y1 - y0
 
     def table_at(self, tile_x: int, tile_y: int) -> GaussianTable:
         """Return the Gaussian table of tile ``(tile_x, tile_y)``."""

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult, SlamResult
@@ -57,17 +58,23 @@ class GaussianSlamConfig:
 class GaussianSlam:
     """Sub-map based 3DGS-SLAM backbone."""
 
-    def __init__(self, intrinsics: Intrinsics, config: GaussianSlamConfig | None = None) -> None:
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: GaussianSlamConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
         self.intrinsics = intrinsics
         self.config = config or GaussianSlamConfig()
+        self.perf = perf or NULL_RECORDER
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
         mapper_config = dataclasses.replace(
             self.config.mapper, num_iterations=self.config.mapping_iterations
         )
-        self.tracker = GaussianPoseTracker(intrinsics, tracker_config)
-        self.mapper = GaussianMapper(intrinsics, mapper_config)
+        self.tracker = GaussianPoseTracker(intrinsics, tracker_config, perf=self.perf)
+        self.mapper = GaussianMapper(intrinsics, mapper_config, perf=self.perf)
         self.keyframes = KeyframeManager(
             every_n=self.config.keyframe_every, max_keyframes=self.config.max_keyframes
         )
@@ -138,15 +145,17 @@ class GaussianSlam:
             else:
                 initial = self.tracker.initial_guess(self._pose_history)
                 active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
-                outcome = self.tracker.track(
-                    active_model, frame.color, frame.depth, initial,
-                    collect_workload=self.config.collect_trace,
-                )
+                with self.perf.section("gaussian_slam/tracking"):
+                    outcome = self.tracker.track(
+                        active_model, frame.color, frame.depth, initial,
+                        collect_workload=self.config.collect_trace,
+                    )
                 pose = outcome.pose
                 tracking_workload = outcome.workload
                 tracking_loss = outcome.final_loss
                 tracking_iterations = outcome.iterations_run
             self._pose_history.append(pose.copy())
+            self.perf.count("tracking.refine_iterations", tracking_iterations)
 
             # ---------------- Sub-map management -------------------------
             if self._needs_new_submap(pose):
@@ -156,16 +165,20 @@ class GaussianSlam:
                     SubMap(anchor_pose=pose.copy(), model=GaussianModel.empty())
                 )
                 self.keyframes.reset()
+                self.perf.count("gaussian_slam.submaps_created")
 
             submap = self.active_submap
-            mapping_outcome = self.mapper.map_frame(
-                submap.model,
-                frame.color,
-                frame.depth,
-                pose,
-                keyframes=self.keyframes.mapping_views(),
-                collect_workload=self.config.collect_trace,
-            )
+            with self.perf.section("gaussian_slam/mapping"):
+                mapping_outcome = self.mapper.map_frame(
+                    submap.model,
+                    frame.color,
+                    frame.depth,
+                    pose,
+                    keyframes=self.keyframes.mapping_views(),
+                    collect_workload=self.config.collect_trace,
+                )
+            self.perf.count("frames.processed")
+            self.perf.count("mapping.iterations", mapping_outcome.iterations_run)
             submap.model = mapping_outcome.model
             self._apply_scale_regularization(submap.model)
             submap.frame_indices.append(index)

@@ -23,7 +23,8 @@ from repro.gaussians.gradients import render_backward
 from repro.gaussians.loss import l1_loss, psnr
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.optimizer import DEFAULT_LEARNING_RATES, Adam
-from repro.gaussians.rasterizer import ALPHA_MIN, render
+from repro.gaussians.rasterizer import ALPHA_MIN, ForwardCache, render
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.workloads import MappingWorkload, RenderWorkload
 
 __all__ = ["MapperConfig", "MappingOutcome", "GaussianMapper"]
@@ -74,12 +75,27 @@ class MappingOutcome:
 
 
 class GaussianMapper:
-    """Runs 3DGS map optimization for posed frames."""
+    """Runs 3DGS map optimization for posed frames.
 
-    def __init__(self, intrinsics: Intrinsics, config: MapperConfig | None = None) -> None:
+    Each optimization iteration runs one fused forward/backward: the
+    forward render retains its bucketed blending intermediates in a
+    :class:`ForwardCache` (reused across the frame's iterations) and the
+    backward pass consumes them instead of re-running the forward per tile.
+    """
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: MapperConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
         self.intrinsics = intrinsics
         self.config = config or MapperConfig()
+        self.perf = perf or NULL_RECORDER
         self.optimizer = Adam(learning_rates=self.config.learning_rates or DEFAULT_LEARNING_RATES)
+        # One cache for the mapper's lifetime: its scratch pool is sized by
+        # the largest frame seen, so per-frame mapping allocates nothing.
+        self._cache = ForwardCache()
         self._rng = np.random.default_rng(0)
 
     def reset(self) -> None:
@@ -169,6 +185,7 @@ class GaussianMapper:
             picks = self._rng.choice(len(keyframes), size=sample, replace=False)
             views.extend(keyframes[int(i)] for i in picks)
 
+        cache = self._cache
         for iteration in range(iterations):
             view_color, view_depth, view_pose = views[iteration % len(views)]
             view_camera = Camera(intrinsics=self.intrinsics, pose=view_pose)
@@ -176,14 +193,16 @@ class GaussianMapper:
             # key frame's own view); later iterations can take the
             # stats-free fast path when no workload trace is requested.
             want_contributions = record_contributions and iteration == 0
-            result = render(
-                model,
-                view_camera,
-                active_mask=mask,
-                contribution_threshold=config.contribution_threshold,
-                record_workloads=collect_workload or want_contributions,
-                record_contributions=want_contributions,
-            )
+            with self.perf.section("mapper/forward"):
+                result = render(
+                    model,
+                    view_camera,
+                    active_mask=mask,
+                    contribution_threshold=config.contribution_threshold,
+                    record_workloads=collect_workload or want_contributions,
+                    record_contributions=want_contributions,
+                    cache=cache,
+                )
             color_loss, color_grad = l1_loss(result.color, view_color)
             valid = view_depth > 1e-6
             # Compare the opacity-weighted rendered depth against the
@@ -194,13 +213,15 @@ class GaussianMapper:
             depth_grad = np.sign(depth_diff) / max(int(valid.sum()), 1)
             loss = color_loss + config.depth_weight * depth_loss
 
-            grads, _ = render_backward(
-                model,
-                view_camera,
-                result,
-                grad_color=color_grad,
-                grad_depth=config.depth_weight * depth_grad,
-            )
+            with self.perf.section("mapper/backward"):
+                grads, _ = render_backward(
+                    model,
+                    view_camera,
+                    result,
+                    grad_color=color_grad,
+                    grad_depth=config.depth_weight * depth_grad,
+                    perf=self.perf,
+                )
             params = self.optimizer.step(model.parameters(), grads.as_dict())
             model.set_parameters(params)
             model.normalize_quaternions()

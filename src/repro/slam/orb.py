@@ -19,6 +19,7 @@ import numpy as np
 from scipy.ndimage import maximum_filter, uniform_filter
 
 from repro.gaussians.camera import Intrinsics, Pose, rotmat_to_quat
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.results import FrameResult, SlamResult
 
 __all__ = ["OrbLiteConfig", "OrbLiteSlam", "detect_corners", "extract_descriptors", "match_descriptors"]
@@ -126,9 +127,15 @@ def _horn_alignment(points_a: np.ndarray, points_b: np.ndarray) -> tuple[np.ndar
 class OrbLiteSlam:
     """Frame-to-frame sparse feature odometry with depth."""
 
-    def __init__(self, intrinsics: Intrinsics, config: OrbLiteConfig | None = None) -> None:
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: OrbLiteConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
         self.intrinsics = intrinsics
         self.config = config or OrbLiteConfig()
+        self.perf = perf or NULL_RECORDER
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
@@ -157,11 +164,13 @@ class OrbLiteSlam:
         ``(None, 0)`` when not enough geometry is available.
         """
         config = self.config
-        corners_prev = detect_corners(prev_gray, config)
-        corners_cur = detect_corners(cur_gray, config)
-        desc_prev = extract_descriptors(prev_gray, corners_prev, config.patch_size)
-        desc_cur = extract_descriptors(cur_gray, corners_cur, config.patch_size)
-        matches = match_descriptors(desc_prev, desc_cur, config.match_ratio)
+        with self.perf.section("orb/features"):
+            corners_prev = detect_corners(prev_gray, config)
+            corners_cur = detect_corners(cur_gray, config)
+            desc_prev = extract_descriptors(prev_gray, corners_prev, config.patch_size)
+            desc_cur = extract_descriptors(cur_gray, corners_cur, config.patch_size)
+            matches = match_descriptors(desc_prev, desc_cur, config.match_ratio)
+        self.perf.count("orb.matches", len(matches))
         if len(matches) < config.min_matches:
             return None, 0
 
@@ -173,21 +182,25 @@ class OrbLiteSlam:
             return None, 0
 
         best_inliers: np.ndarray | None = None
-        for _ in range(config.ransac_iterations):
-            sample = self._rng.choice(len(points_prev), size=3, replace=False)
-            try:
-                rotation, translation = _horn_alignment(points_prev[sample], points_cur[sample])
-            except np.linalg.LinAlgError:
-                continue
-            predicted = points_prev @ rotation.T + translation
-            errors = np.linalg.norm(predicted - points_cur, axis=1)
-            inliers = errors < config.ransac_threshold
-            if best_inliers is None or inliers.sum() > best_inliers.sum():
-                best_inliers = inliers
-        if best_inliers is None or best_inliers.sum() < config.min_matches:
-            return None, 0
+        with self.perf.section("orb/pose"):
+            for _ in range(config.ransac_iterations):
+                sample = self._rng.choice(len(points_prev), size=3, replace=False)
+                try:
+                    rotation, translation = _horn_alignment(points_prev[sample], points_cur[sample])
+                except np.linalg.LinAlgError:
+                    continue
+                predicted = points_prev @ rotation.T + translation
+                errors = np.linalg.norm(predicted - points_cur, axis=1)
+                inliers = errors < config.ransac_threshold
+                if best_inliers is None or inliers.sum() > best_inliers.sum():
+                    best_inliers = inliers
+            if best_inliers is None or best_inliers.sum() < config.min_matches:
+                return None, 0
 
-        rotation, translation = _horn_alignment(points_prev[best_inliers], points_cur[best_inliers])
+            rotation, translation = _horn_alignment(
+                points_prev[best_inliers], points_cur[best_inliers]
+            )
+        self.perf.count("orb.inliers", int(best_inliers.sum()))
         relative = Pose(quat=rotmat_to_quat(rotation), trans=translation)
         return relative, int(best_inliers.sum())
 
@@ -211,8 +224,10 @@ class OrbLiteSlam:
             relative, inliers = self.estimate_relative_pose(
                 prev_frame.gray, prev_frame.depth, cur_frame.gray, cur_frame.depth
             )
+            self.perf.count("frames.processed")
             if relative is None:
                 relative = previous_relative  # constant velocity fallback
+                self.perf.count("orb.fallbacks")
             estimated = relative.compose(previous_pose)
             result.frames.append(
                 FrameResult(

@@ -74,8 +74,8 @@ class SplaTam:
         mapper_config = dataclasses.replace(
             self.config.mapper, num_iterations=self.config.mapping_iterations
         )
-        self.tracker = GaussianPoseTracker(intrinsics, tracker_config)
-        self.mapper = GaussianMapper(intrinsics, mapper_config)
+        self.tracker = GaussianPoseTracker(intrinsics, tracker_config, perf=self.perf)
+        self.mapper = GaussianMapper(intrinsics, mapper_config, perf=self.perf)
         self.keyframes = KeyframeManager(
             every_n=self.config.keyframe_every, max_keyframes=self.config.max_keyframes
         )

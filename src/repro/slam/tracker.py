@@ -18,7 +18,8 @@ from repro.gaussians.camera import Camera, Intrinsics, Pose
 from repro.gaussians.gradients import render_backward
 from repro.gaussians.loss import masked_l1_loss
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.rasterizer import render
+from repro.gaussians.rasterizer import ForwardCache, render
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.workloads import RenderWorkload, TrackingWorkload
 
 __all__ = ["TrackerConfig", "TrackingOutcome", "GaussianPoseTracker"]
@@ -63,11 +64,27 @@ class TrackingOutcome:
 
 
 class GaussianPoseTracker:
-    """Optimizes camera poses against a fixed Gaussian map."""
+    """Optimizes camera poses against a fixed Gaussian map.
 
-    def __init__(self, intrinsics: Intrinsics, config: TrackerConfig | None = None) -> None:
+    Each iteration runs one fused forward/backward: the forward render
+    retains its bucketed blending intermediates in a :class:`ForwardCache`
+    (one cache reused across iterations, so the scratch memory is
+    allocated once per tracked frame) and the backward pass consumes them
+    instead of re-running the forward per tile.
+    """
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: TrackerConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
         self.intrinsics = intrinsics
         self.config = config or TrackerConfig()
+        self.perf = perf or NULL_RECORDER
+        # One cache for the tracker's lifetime: its scratch pool is sized by
+        # the largest frame seen, so per-frame tracking allocates nothing.
+        self._cache = ForwardCache()
 
     def initial_guess(self, previous_poses: list[Pose]) -> Pose:
         """Warm-start pose: constant-velocity extrapolation of recent motion."""
@@ -122,11 +139,17 @@ class GaussianPoseTracker:
         iterations_run = 0
         final_loss = 0.0
 
+        cache = self._cache
         for iteration in range(iterations):
             camera = Camera(intrinsics=self.intrinsics, pose=pose)
-            result = render(
-                model, camera, record_workloads=collect_workload, record_contributions=False
-            )
+            with self.perf.section("tracker/forward"):
+                result = render(
+                    model,
+                    camera,
+                    record_workloads=collect_workload,
+                    record_contributions=False,
+                    cache=cache,
+                )
             mask = result.silhouette > config.silhouette_threshold
 
             color_loss, color_grad = masked_l1_loss(result.color, target_color, mask)
@@ -140,14 +163,16 @@ class GaussianPoseTracker:
                 result.depth, target_depth * result.silhouette, valid_depth
             )
             loss = color_loss + config.depth_weight * depth_loss
-            _, pose_grad = render_backward(
-                model,
-                camera,
-                result,
-                grad_color=color_grad,
-                grad_depth=config.depth_weight * depth_grad,
-                compute_pose_gradient=True,
-            )
+            with self.perf.section("tracker/backward"):
+                _, pose_grad = render_backward(
+                    model,
+                    camera,
+                    result,
+                    grad_color=color_grad,
+                    grad_depth=config.depth_weight * depth_grad,
+                    compute_pose_gradient=True,
+                    perf=self.perf,
+                )
 
             gradient = pose_grad.vector
             first_moment = 0.9 * first_moment + 0.1 * gradient

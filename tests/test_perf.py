@@ -5,6 +5,7 @@ import json
 import numpy as np
 
 from repro.core import AGSConfig, AgsSlam
+from repro.slam import GaussianSlam, GaussianSlamConfig, OrbLiteSlam, SplaTam, SplaTamConfig
 from repro.perf import (
     NULL_RECORDER,
     PerfCounters,
@@ -129,3 +130,59 @@ def test_ags_pipeline_without_perf_still_runs(tiny_sequence):
     result = system.run(tiny_sequence, num_frames=2)
     assert len(result.frames) == 2
     assert system.perf is NULL_RECORDER
+
+
+def test_splatam_records_fused_backward_perf(tiny_sequence):
+    perf = PerfRecorder()
+    config = SplaTamConfig(tracking_iterations=3, mapping_iterations=2)
+    system = SplaTam(tiny_sequence.intrinsics, config, perf=perf)
+    system.run(tiny_sequence, num_frames=3)
+    timers = perf.timers.as_dict()
+    # The fused forward/backward sections nest under tracking and mapping.
+    assert "splatam/tracking/tracker/forward" in timers
+    assert "splatam/tracking/tracker/backward" in timers
+    assert "splatam/mapping/mapper/backward" in timers
+    counts = perf.counters.as_dict()
+    assert counts["raster.backward_calls"] > 0
+    # Every tracker/mapper backward consumed the retained forward cache.
+    assert counts["raster.backward_cache_hits"] == counts["raster.backward_calls"]
+    assert counts.get("raster.backward_cache_builds", 0) == 0
+    assert counts["raster.backward_pairs"] > 0
+
+
+def test_gaussian_slam_records_perf(tiny_sequence):
+    perf = PerfRecorder()
+    config = GaussianSlamConfig(tracking_iterations=3, mapping_iterations=2)
+    system = GaussianSlam(tiny_sequence.intrinsics, config, perf=perf)
+    result = system.run(tiny_sequence, num_frames=3)
+    assert len(result.frames) == 3
+    timers = perf.timers.as_dict()
+    assert "gaussian_slam/tracking" in timers
+    assert "gaussian_slam/mapping" in timers
+    assert timers["gaussian_slam/mapping"]["calls"] == 3
+    counts = perf.counters.as_dict()
+    assert counts["frames.processed"] == 3
+    assert counts["gaussian_slam.submaps_created"] >= 1
+    assert counts["raster.backward_calls"] > 0
+
+
+def test_gaussian_slam_without_perf_still_runs(tiny_sequence):
+    system = GaussianSlam(
+        tiny_sequence.intrinsics, GaussianSlamConfig(tracking_iterations=2, mapping_iterations=1)
+    )
+    result = system.run(tiny_sequence, num_frames=2)
+    assert len(result.frames) == 2
+    assert system.perf is NULL_RECORDER
+
+
+def test_orb_lite_records_perf(tiny_sequence):
+    perf = PerfRecorder()
+    system = OrbLiteSlam(tiny_sequence.intrinsics, perf=perf)
+    result = system.run(tiny_sequence, num_frames=4)
+    assert len(result.frames) == 4
+    timers = perf.timers.as_dict()
+    assert "orb/features" in timers
+    assert timers["orb/features"]["calls"] == 3
+    counts = perf.counters.as_dict()
+    assert counts["frames.processed"] == 3
+    assert counts["orb.matches"] > 0
