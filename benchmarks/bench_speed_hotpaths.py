@@ -35,6 +35,9 @@ import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_gate import check_gate, gate_table  # noqa: E402
 
 from repro.codec import motion_estimate  # noqa: E402
 from repro.gaussians import Camera, GaussianModel, Intrinsics, Pose, render  # noqa: E402
@@ -179,23 +182,6 @@ def build_results(repeats: int) -> dict:
     }
 
 
-def check_gate(previous: dict, current: dict, max_regression: float) -> list[str]:
-    """Return regression messages for gated timings (empty = pass)."""
-    failures = []
-    old = previous.get("timings_seconds", {})
-    new = current["timings_seconds"]
-    for key in GATED_KEYS:
-        if key not in old or key not in new:
-            continue
-        limit = old[key] * (1.0 + max_regression)
-        if new[key] > limit:
-            failures.append(
-                f"{key}: {new[key]:.4f}s vs previous {old[key]:.4f}s "
-                f"(+{100.0 * (new[key] / old[key] - 1.0):.1f}% > {100.0 * max_regression:.0f}%)"
-            )
-    return failures
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
@@ -225,12 +211,15 @@ def main(argv=None) -> int:
 
     if args.gate and args.output.exists():
         previous = json.loads(args.output.read_text())
-        failures = check_gate(previous, results, args.max_regression)
+        failures = check_gate(previous, results, args.max_regression, GATED_KEYS)
+        print("\ngated timings vs previous BENCH_hotpaths.json:")
+        print(gate_table(previous, results, GATED_KEYS))
         if failures:
             print("\nPERF GATE FAILED — keeping previous BENCH_hotpaths.json:", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
             return 1
+        print("perf gate PASSED")
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")

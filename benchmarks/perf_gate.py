@@ -1,0 +1,46 @@
+"""Shared perf-gate helpers for the speed benchmark scripts.
+
+``bench_speed_hotpaths.py`` and ``bench_speed_backward.py`` both guard a
+set of gated hot-path timings against their committed ``BENCH_*.json``
+trajectory file; the regression check and the old-vs-new comparison
+table live here so the two scripts cannot drift.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_gate", "gate_table"]
+
+
+def check_gate(previous: dict, current: dict, max_regression: float, gated_keys) -> list[str]:
+    """Return regression messages for gated timings (empty = pass)."""
+    failures = []
+    old = previous.get("timings_seconds", {})
+    new = current["timings_seconds"]
+    for key in gated_keys:
+        if key not in old or key not in new:
+            continue
+        limit = old[key] * (1.0 + max_regression)
+        if new[key] > limit:
+            failures.append(
+                f"{key}: {new[key]:.4f}s vs previous {old[key]:.4f}s "
+                f"(+{100.0 * (new[key] / old[key] - 1.0):.1f}% > {100.0 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def gate_table(previous: dict, current: dict, gated_keys) -> str:
+    """Format the gated timings, previous vs new, as a comparison table."""
+    old = previous.get("timings_seconds", {})
+    new = current["timings_seconds"]
+    lines = [f"  {'gated timing':<38}{'previous':>12}{'new':>12}{'delta':>9}"]
+    for key in gated_keys:
+        if key not in new:
+            continue
+        if key in old:
+            delta = 100.0 * (new[key] / old[key] - 1.0)
+            lines.append(
+                f"  {key:<38}{old[key] * 1e3:>10.2f}ms{new[key] * 1e3:>10.2f}ms{delta:>+8.1f}%"
+            )
+        else:
+            lines.append(f"  {key:<38}{'-':>12}{new[key] * 1e3:>10.2f}ms{'new':>9}")
+    return "\n".join(lines)

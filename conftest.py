@@ -5,6 +5,14 @@ been installed (offline environments where ``pip install -e .`` cannot
 fetch build dependencies can still run the test suite), and registers the
 ``slow`` marker: long randomized equivalence sweeps are deselected from
 the default (tier-1) run and executed with ``pytest -m slow``.
+
+Lanes:
+
+* **Tier-1** (every push, gated by ``scripts/ci.sh``): ``pytest -x -q``
+  plus the ``scripts/bench_speed.sh`` hot-path perf gate.
+* **Slow** (weekly-intended, or ``scripts/ci.sh --slow``): ``pytest -m
+  slow`` runs the long randomized equivalence sweeps that property-test
+  the fast engines against their executable specifications.
 """
 
 import os

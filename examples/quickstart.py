@@ -1,21 +1,40 @@
-"""Quickstart: run the SplaTAM baseline and AGS on a synthetic sequence.
+"""Quickstart: stream frames through SplaTAM and AGS sessions.
 
-This example loads a TUM-like synthetic sequence, runs the baseline
-3DGS-SLAM pipeline and the AGS-accelerated pipeline, and compares
-tracking accuracy (ATE RMSE), mapping quality (PSNR), the number of 3DGS
-tracking iterations each spent, and the simulated latency on the A100
-baseline and the AGS-Server accelerator.
+Every SLAM system in this repo is a *streaming session*: frames are fed
+one at a time (``session.feed(frame)``), the accumulated result can be
+assembled at any point (``session.finalize()``), and a session can be
+checkpointed mid-sequence (``session.state()`` /
+``save_session_state``) and resumed later — in the same process or a
+fresh one — bit-exactly.
+
+This example
+
+1. runs the SplaTAM baseline by feeding frames one at a time,
+2. runs AGS the same way, but checkpoints it halfway to disk, restores
+   the checkpoint into a *fresh* AGS system and finishes the run there,
+3. compares tracking accuracy (ATE RMSE), mapping quality (PSNR),
+   tracking iterations spent, and the simulated latency on the A100
+   baseline vs the AGS-Server accelerator.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+
 from repro.core import AGSConfig, AgsSlam
 from repro.datasets import load_sequence
 from repro.eval.report import format_table
 from repro.eval.runner import collect_platform_results
-from repro.slam import SplaTam, SplaTamConfig, ate_rmse, evaluate_mapping_quality
+from repro.slam import (
+    SplaTam,
+    SplaTamConfig,
+    ate_rmse,
+    evaluate_mapping_quality,
+    load_session_state,
+    save_session_state,
+)
 
 
 def main() -> None:
@@ -32,24 +51,48 @@ def main() -> None:
         sequence.intrinsics,
         SplaTamConfig(tracking_iterations=20, mapping_iterations=5),
     )
-    print("Running the SplaTAM baseline ...")
-    baseline_result = baseline.run(sequence, num_frames=num_frames)
+    print("Streaming the SplaTAM baseline (one feed() per frame) ...")
+    baseline.begin("desk")
+    for index, frame in sequence.stream(stop=num_frames):
+        frame_result = baseline.feed(frame, index=index)
+        print(f"  frame {index}: loss={frame_result.mapping_loss:.4f} "
+              f"gaussians={frame_result.num_gaussians}")
+    baseline_result = baseline.finalize()
 
-    # ---------------- AGS ------------------------------------------------
-    ags = AgsSlam(
-        sequence.intrinsics,
-        AGSConfig(iter_t=4, baseline_tracking_iterations=20),
-        mapping_iterations=5,
-    )
-    print("Running AGS ...")
-    ags_result = ags.run(sequence, num_frames=num_frames)
+    # ---------------- AGS, with a mid-sequence checkpoint -----------------
+    def make_ags() -> AgsSlam:
+        return AgsSlam(
+            sequence.intrinsics,
+            AGSConfig(iter_t=4, baseline_tracking_iterations=20),
+            mapping_iterations=5,
+        )
+
+    halfway = num_frames // 2
+    ags = make_ags()
+    print(f"\nStreaming AGS; checkpointing after frame {halfway - 1} ...")
+    ags.begin("desk")
+    for index, frame in sequence.stream(stop=halfway):
+        ags.feed(frame, index=index)
+
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        save_session_state(ags.state(), checkpoint_dir)
+        print(f"  checkpoint written to {checkpoint_dir} (npz + manifest.json)")
+
+        # A *fresh* identically configured system resumes the checkpoint;
+        # the continued run is bit-identical to an uninterrupted one.
+        resumed = make_ags()
+        resumed.restore(load_session_state(checkpoint_dir))
+
+    for index, frame in sequence.stream(start=halfway, stop=num_frames):
+        resumed.feed(frame, index=index)
+    ags_result = resumed.finalize()
 
     # ---------------- Compare -------------------------------------------
     platforms = collect_platform_results(baseline_result, ags_result)
     rows = []
     for name, result, platform in (
         ("SplaTAM (baseline)", baseline_result, platforms["GPU-Server"]),
-        ("AGS", ags_result, platforms["AGS-Server"]),
+        ("AGS (resumed)", ags_result, platforms["AGS-Server"]),
     ):
         quality = evaluate_mapping_quality(result, sequence)
         rows.append(

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 test suite plus the hot-path perf gate.
+#
+#   scripts/ci.sh          # tier-1 tests + scripts/bench_speed.sh
+#   scripts/ci.sh --slow   # additionally run the weekly `pytest -m slow`
+#                          # lane (long randomized equivalence sweeps)
+#
+# The perf gate fails (exit != 0) on a >20% regression of any gated
+# hot-path timing and keeps the previous BENCH_*.json files; on success
+# it refreshes them and prints the gated-timings comparison table.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_SLOW=0
+for arg in "$@"; do
+    case "$arg" in
+        --slow) RUN_SLOW=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1 test suite =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+if [[ "$RUN_SLOW" == "1" ]]; then
+    echo "== slow lane (randomized equivalence sweeps) =="
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m slow
+fi
+
+echo "== hot-path perf gate =="
+scripts/bench_speed.sh

@@ -92,6 +92,21 @@ class GaussianContributionTable:
         self._contrib = np.zeros(0, dtype=np.int64)
         self._keyframe_index = None
 
+    def state_dict(self) -> dict:
+        """Snapshot the recorded statistics (checkpointing)."""
+        return {
+            "noncontrib": self._noncontrib.copy(),
+            "contrib": self._contrib.copy(),
+            "keyframe_index": self._keyframe_index,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._noncontrib = np.asarray(state["noncontrib"], dtype=np.int64).copy()
+        self._contrib = np.asarray(state["contrib"], dtype=np.int64).copy()
+        index = state["keyframe_index"]
+        self._keyframe_index = None if index is None else int(index)
+
     # ------------------------------------------------------------------
     def predict_active_mask(self, num_gaussians: int, thresh_n: int) -> ContributionPrediction:
         """Predict which of ``num_gaussians`` Gaussians must stay active.

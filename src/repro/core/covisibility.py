@@ -160,6 +160,52 @@ class FrameCovisibilityDetector:
         return self._keyframe_index
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the reference frames and measurement history.
+
+        The CODEC encoder itself is stateless for the pair-wise
+        measurements the detector performs, so the detector's own fields
+        are the complete checkpoint.
+        """
+        return {
+            "previous_gray": None if self._previous_gray is None else self._previous_gray.copy(),
+            "previous_index": self._previous_index,
+            "keyframe_gray": None if self._keyframe_gray is None else self._keyframe_gray.copy(),
+            "keyframe_index": self._keyframe_index,
+            "history": [
+                {
+                    "value": m.value,
+                    "total_min_sad": m.total_min_sad,
+                    "mean_sad_per_pixel": m.mean_sad_per_pixel,
+                    "sad_evaluations": m.sad_evaluations,
+                    "reference_index": m.reference_index,
+                }
+                for m in self.history
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        previous = state["previous_gray"]
+        keyframe = state["keyframe_gray"]
+        self._previous_gray = None if previous is None else np.asarray(previous).copy()
+        self._previous_index = None if state["previous_index"] is None else int(state["previous_index"])
+        self._keyframe_gray = None if keyframe is None else np.asarray(keyframe).copy()
+        self._keyframe_index = None if state["keyframe_index"] is None else int(state["keyframe_index"])
+        self.history = [
+            CovisibilityMeasurement(
+                value=float(entry["value"]),
+                total_min_sad=float(entry["total_min_sad"]),
+                mean_sad_per_pixel=float(entry["mean_sad_per_pixel"]),
+                sad_evaluations=int(entry["sad_evaluations"]),
+                reference_index=None
+                if entry["reference_index"] is None
+                else int(entry["reference_index"]),
+            )
+            for entry in state["history"]
+        ]
+
+    # ------------------------------------------------------------------
     def level_histogram(self) -> np.ndarray:
         """Histogram of observed covisibility levels (index 0 = level 1)."""
         counts = np.zeros(NUM_COVISIBILITY_LEVELS, dtype=np.int64)

@@ -61,6 +61,18 @@ class ContributionAwareMapper:
         self.mapper.reset()
         self.contribution_table.clear()
 
+    def state_dict(self) -> dict:
+        """Snapshot the mapper (optimizer + RNG) and contribution table."""
+        return {
+            "mapper": self.mapper.state_dict(),
+            "contribution_table": self.contribution_table.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.mapper.load_state_dict(state["mapper"])
+        self.contribution_table.load_state_dict(state["contribution_table"])
+
     # ------------------------------------------------------------------
     def designate_keyframe(self, covisibility_with_keyframe: float | None) -> bool:
         """Decide whether the frame must be a key frame (full mapping).

@@ -25,18 +25,21 @@ from repro.core.mapping import ContributionAwareMapper
 from repro.core.tracking import MovementAdaptiveTracker
 from repro.gaussians.camera import Intrinsics
 from repro.gaussians.model import GaussianModel
-from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.perf import PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import MapperConfig
-from repro.slam.results import FrameResult, SlamResult
+from repro.slam.results import FrameResult
+from repro.slam.session import SessionRunner, pack_model, pack_pose, unpack_model, unpack_pose
 from repro.slam.tracker import TrackerConfig
-from repro.workloads import FrameTrace, SequenceTrace, TrackingWorkload
+from repro.workloads import FrameTrace, TrackingWorkload
 
 __all__ = ["AgsSlam"]
 
 
-class AgsSlam:
-    """AGS-accelerated 3DGS-SLAM."""
+class AgsSlam(SessionRunner):
+    """AGS-accelerated 3DGS-SLAM (a streaming :class:`SlamSession`)."""
+
+    algorithm = "ags"
 
     def __init__(
         self,
@@ -51,12 +54,11 @@ class AgsSlam:
         collect_trace: bool = True,
         perf: PerfRecorder | None = None,
     ) -> None:
-        self.intrinsics = intrinsics
         self.config = config or AGSConfig()
+        super().__init__(intrinsics, collect_trace=collect_trace, perf=perf)
         covisibility_config = covisibility_config or CovisibilityConfig(
             sad_scale=self.config.covisibility_sad_scale
         )
-        self.perf = perf or NULL_RECORDER
         self.covisibility = FrameCovisibilityDetector(covisibility_config)
         self.tracking = MovementAdaptiveTracker(
             intrinsics, self.config, tracker_config, perf=self.perf
@@ -68,7 +70,6 @@ class AgsSlam:
         )
         self.keyframes = KeyframeManager(max_keyframes=keyframe_window)
         self.anchor_first_pose_to_gt = anchor_first_pose_to_gt
-        self.collect_trace = collect_trace
         self.model = GaussianModel.empty()
         self._prev_frame = None
         self._prev_pose = None
@@ -85,26 +86,52 @@ class AgsSlam:
         self._prev_pose = None
 
     # ------------------------------------------------------------------
-    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
-        """Run AGS over a sequence and return the SLAM result (with trace)."""
-        self.reset()
-        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
-        result = SlamResult(algorithm="ags", sequence=sequence.name)
-        trace = SequenceTrace(
-            sequence=sequence.name,
-            algorithm="ags",
-            width=self.intrinsics.width,
-            height=self.intrinsics.height,
+    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
+        return self.process_frame(index, frame)
+
+    def _state_payload(self) -> dict:
+        prev_frame = self._prev_frame
+        return {
+            "model": pack_model(self.model),
+            "keyframes": self.keyframes.state_dict(),
+            "covisibility": self.covisibility.state_dict(),
+            "tracking": self.tracking.state_dict(),
+            "mapping": self.mapping.state_dict(),
+            "prev_pose": pack_pose(self._prev_pose),
+            "prev_frame": (
+                None
+                if prev_frame is None
+                else {
+                    "index": prev_frame.index,
+                    "color": np.asarray(prev_frame.color).copy(),
+                    "depth": np.asarray(prev_frame.depth).copy(),
+                    "gt_pose": pack_pose(prev_frame.gt_pose),
+                    "timestamp": prev_frame.timestamp,
+                }
+            ),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        from repro.datasets.sequences import RGBDFrame
+
+        self.model = unpack_model(payload["model"])
+        self.keyframes.load_state_dict(payload["keyframes"])
+        self.covisibility.load_state_dict(payload["covisibility"])
+        self.tracking.load_state_dict(payload["tracking"])
+        self.mapping.load_state_dict(payload["mapping"])
+        self._prev_pose = unpack_pose(payload["prev_pose"])
+        prev_frame = payload["prev_frame"]
+        self._prev_frame = (
+            None
+            if prev_frame is None
+            else RGBDFrame(
+                index=int(prev_frame["index"]),
+                color=np.asarray(prev_frame["color"]).copy(),
+                depth=np.asarray(prev_frame["depth"]).copy(),
+                gt_pose=unpack_pose(prev_frame["gt_pose"]),
+                timestamp=float(prev_frame["timestamp"]),
+            )
         )
-        for index in range(total):
-            frame = sequence[index]
-            frame_result, frame_trace = self.process_frame(index, frame)
-            result.frames.append(frame_result)
-            trace.frames.append(frame_trace)
-        result.final_model = self.model
-        if self.collect_trace:
-            result.trace = trace
-        return result
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:

@@ -61,6 +61,18 @@ class MovementAdaptiveTracker:
         """Forget the velocity prior (new sequence)."""
         self._last_relative = None
 
+    def state_dict(self) -> dict:
+        """Snapshot the velocity prior (the tracker's only sequence state)."""
+        from repro.slam.session import pack_pose
+
+        return {"last_relative": pack_pose(self._last_relative)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        from repro.slam.session import unpack_pose
+
+        self._last_relative = unpack_pose(state["last_relative"])
+
     # ------------------------------------------------------------------
     def track(
         self,

@@ -12,7 +12,7 @@ evaluation metrics consume.
 
 from repro.datasets.scene import SceneSpec, build_scene
 from repro.datasets.trajectory import TrajectorySpec, generate_trajectory
-from repro.datasets.sequences import RGBDFrame, SyntheticSequence, SequenceSpec
+from repro.datasets.sequences import FrameSource, RGBDFrame, SyntheticSequence, SequenceSpec
 from repro.datasets.registry import (
     SEQUENCE_SPECS,
     available_sequences,
@@ -21,6 +21,7 @@ from repro.datasets.registry import (
 )
 
 __all__ = [
+    "FrameSource",
     "RGBDFrame",
     "SEQUENCE_SPECS",
     "SceneSpec",

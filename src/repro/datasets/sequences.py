@@ -5,11 +5,27 @@ returns :class:`RGBDFrame` objects holding the color image, the depth map
 and the ground-truth pose of each frame.  Frames are rendered lazily from
 the ground-truth Gaussian scene and cached, so a SLAM run only pays for
 the frames it actually consumes.
+
+Frame-source interface.  Streaming sessions
+(:mod:`repro.slam.session`) and the concurrent evaluation service
+(:mod:`repro.eval.service`) consume any object with the
+:class:`FrameSource` shape: ``len()``, integer indexing returning
+RGB-D frames, ``name``, ``intrinsics`` and the ``stream()`` iterator of
+``(index, frame)`` pairs.  :class:`SyntheticSequence` implements it with
+*thread-safe, order-deterministic* lazy rendering: sensor noise draws
+from one per-sequence RNG stream, so frames always materialize in index
+order (a cache miss first renders any missing predecessors) under a
+render lock.  Frame content is therefore a pure function of the frame
+index — independent of access order, of how many sessions consume the
+sequence concurrently, and of whether a session was resumed from a
+checkpoint in a fresh process with a cold frame cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
+from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -19,7 +35,7 @@ from repro.gaussians.camera import Camera, Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
 from repro.gaussians.rasterizer import render
 
-__all__ = ["RGBDFrame", "SequenceSpec", "SyntheticSequence"]
+__all__ = ["FrameSource", "RGBDFrame", "SequenceSpec", "SyntheticSequence"]
 
 
 @dataclasses.dataclass
@@ -76,8 +92,26 @@ class SequenceSpec:
     depth_noise_std: float = 0.0
 
 
+@runtime_checkable
+class FrameSource(Protocol):
+    """The frame-ingestion interface streaming sessions consume.
+
+    Any indexable, named frame container works — a dataset loader, a live
+    camera adapter buffering frames, or :class:`SyntheticSequence`.
+    """
+
+    name: str
+    intrinsics: Intrinsics
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, index: int) -> RGBDFrame: ...
+
+    def stream(self, start: int = 0, stop: int | None = None) -> Iterator[tuple[int, RGBDFrame]]: ...
+
+
 class SyntheticSequence:
-    """A lazily rendered RGB-D sequence."""
+    """A lazily rendered RGB-D sequence (a :class:`FrameSource`)."""
 
     def __init__(self, spec: SequenceSpec) -> None:
         self.spec = spec
@@ -86,6 +120,10 @@ class SyntheticSequence:
         self.intrinsics = Intrinsics.from_fov(spec.width, spec.height, spec.fov_x_deg)
         self._cache: dict[int, RGBDFrame] = {}
         self._rng = np.random.default_rng(spec.scene.seed + 10_000)
+        # Serializes lazy renders: the sensor-noise RNG stream makes frame
+        # content depend on render order, so concurrent sessions must not
+        # interleave (or duplicate) the miss path.
+        self._render_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.poses)
@@ -107,19 +145,36 @@ class SyntheticSequence:
             index += len(self)
         if not 0 <= index < len(self):
             raise IndexError(f"frame index {index} out of range for {len(self)} frames")
-        if index not in self._cache:
-            self._cache[index] = self._render_frame(index)
-        return self._cache[index]
+        frame = self._cache.get(index)
+        if frame is None:
+            with self._render_lock:
+                # Materialize any missing predecessors first: the sensor
+                # noise draws from one per-sequence RNG stream, so frame
+                # content is only reproducible when frames render in index
+                # order.  This makes every frame a pure function of its
+                # index — a checkpoint resumed in a fresh process (cold
+                # frame cache) sees bit-identical observations.
+                for missing in range(index + 1):
+                    if missing not in self._cache:
+                        self._cache[missing] = self._render_frame(missing)
+                frame = self._cache[index]
+        return frame
 
     def __iter__(self):
         for index in range(len(self)):
             yield self[index]
 
+    def stream(self, start: int = 0, stop: int | None = None) -> Iterator[tuple[int, RGBDFrame]]:
+        """Yield ``(index, frame)`` pairs — the session-feeding iterator."""
+        stop = len(self) if stop is None else min(stop, len(self))
+        for index in range(start, stop):
+            yield index, self[index]
+
     def frames(self, start: int = 0, stop: int | None = None, step: int = 1):
         """Iterate over a slice of the sequence."""
-        stop = len(self) if stop is None else min(stop, len(self))
-        for index in range(start, stop, step):
-            yield self[index]
+        for index, frame in self.stream(start, stop):
+            if (index - start) % step == 0:
+                yield frame
 
     def ground_truth_trajectory(self) -> list[Pose]:
         """Return copies of the ground-truth poses."""

@@ -9,7 +9,18 @@ under ``benchmarks/`` are thin wrappers around these functions;
 """
 
 from repro.eval.runner import EvalSettings, run_slam, collect_platform_results
+from repro.eval.service import RunKey, SlamService, configure_default_service, default_service
 from repro.eval import experiments
 from repro.eval.report import format_table
 
-__all__ = ["EvalSettings", "collect_platform_results", "experiments", "format_table", "run_slam"]
+__all__ = [
+    "EvalSettings",
+    "RunKey",
+    "SlamService",
+    "collect_platform_results",
+    "configure_default_service",
+    "default_service",
+    "experiments",
+    "format_table",
+    "run_slam",
+]

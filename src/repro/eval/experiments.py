@@ -2,9 +2,12 @@
 
 Every function returns a plain dictionary with the same rows or series the
 paper reports, so benchmarks, tests and EXPERIMENTS.md generation all
-consume the same data.  SLAM runs are cached process-wide (see
-:mod:`repro.eval.runner`), so experiments sharing a configuration share
-the cost.
+consume the same data.  SLAM runs are cached in the process-default
+:class:`repro.eval.service.SlamService` (a bounded LRU store), so
+experiments sharing a configuration share the cost; each experiment
+prefetches its (algorithm x sequence) grid through
+``SlamService.run_many``, which executes the independent runs on a
+worker pool when ``settings.workers > 1``.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro.eval.runner import (
     run_slam,
     scaled_trace_for_platforms,
 )
+from repro.eval.service import RunKey, default_service
 from repro.slam import ate_rmse, evaluate_mapping_quality
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
 
@@ -65,11 +69,30 @@ def _gt_poses(sequence, count):
     return [sequence[i].gt_pose for i in range(count)]
 
 
+def _prefetch(settings: EvalSettings, algorithms, sequences=None, **overrides) -> None:
+    """Warm the run store for an experiment's (algorithm x sequence) grid.
+
+    The independent runs go through :meth:`SlamService.run_many`, so a
+    ``settings.workers > 1`` configuration executes them concurrently;
+    the experiment bodies below then consume pure cache hits.  Key
+    construction is centralized in :meth:`RunKey.from_settings` — no
+    call site re-derives ``num_frames``.
+    """
+    sequences = settings.sequences if sequences is None else sequences
+    keys = [
+        RunKey.from_settings(algorithm, name, settings, **overrides)
+        for name in sequences
+        for algorithm in algorithms
+    ]
+    default_service().run_many(keys, workers=settings.workers)
+
+
 # ---------------------------------------------------------------------------
 # Accuracy-side experiments
 # ---------------------------------------------------------------------------
 def table2_tracking_accuracy(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Table 2: ATE RMSE (cm) of SplaTAM, AGS and ORB-lite per sequence."""
+    _prefetch(settings, ("splatam", "ags", "orb"))
     rows = {}
     for name in settings.sequences:
         sequence = load_sequence(name, num_frames=settings.num_frames)
@@ -88,6 +111,7 @@ def table2_tracking_accuracy(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
 def fig14_psnr(settings: EvalSettings = DEFAULT_SETTINGS, sequences=None) -> dict:
     """Fig. 14: mapping PSNR of the baseline and AGS per sequence."""
     sequences = sequences or settings.sequences
+    _prefetch(settings, ("splatam", "ags"), sequences=sequences)
     rows = {}
     for name in sequences:
         sequence = load_sequence(name, num_frames=settings.num_frames)
@@ -106,6 +130,7 @@ def fig14_psnr(settings: EvalSettings = DEFAULT_SETTINGS, sequences=None) -> dic
 
 def table4_droid_comparison(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Table 4: PSNR of AGS vs directly composing Droid tracking with SplaTAM."""
+    _prefetch(settings, ("ags", "droid-splatam"))
     rows = {}
     for name in settings.sequences:
         sequence = load_sequence(name, num_frames=settings.num_frames)
@@ -125,6 +150,7 @@ def table4_droid_comparison(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
 def table1_category_comparison(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Table 1: qualitative comparison of SLAM categories on one sequence."""
     name = settings.sequences[0]
+    _prefetch(settings, ("splatam", "orb", "gaussian-slam"), sequences=(name,))
     sequence = load_sequence(name, num_frames=settings.num_frames)
     gt = _gt_poses(sequence, settings.num_frames)
     splatam = run_slam("splatam", name, num_frames=settings.num_frames)
@@ -156,6 +182,7 @@ def table1_category_comparison(settings: EvalSettings = DEFAULT_SETTINGS) -> dic
 # ---------------------------------------------------------------------------
 def fig3_time_breakdown(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 3: baseline time per frame split into tracking and mapping."""
+    _prefetch(settings, ("splatam",))
     gpu = GpuPlatform(NVIDIA_A100)
     rows = {}
     for name in settings.sequences:
@@ -214,6 +241,7 @@ def fig4_iteration_sensitivity(
 
 def fig5_contribution_breakdown(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 5: fraction of non-contributory Gaussian-tile assignments."""
+    _prefetch(settings, ("splatam",))
     rows = {}
     for name in settings.sequences:
         baseline = run_slam("splatam", name, num_frames=settings.num_frames)
@@ -279,6 +307,7 @@ def fig6_contribution_similarity(
 def fig15_speedup(settings: EvalSettings = DEFAULT_SETTINGS, sequences=None) -> dict:
     """Fig. 15: speedups of GSCore and AGS over the GPU baselines."""
     sequences = sequences or settings.sequences
+    _prefetch(settings, ("splatam", "ags"), sequences=sequences)
     server_rows, edge_rows = {}, {}
     for name in sequences:
         baseline = run_slam("splatam", name, num_frames=settings.num_frames)
@@ -307,6 +336,7 @@ def fig15_speedup(settings: EvalSettings = DEFAULT_SETTINGS, sequences=None) -> 
 
 def fig17_task_speedup(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 17: per-task (tracking / mapping) speedups of AGS over GPUs."""
+    _prefetch(settings, ("splatam", "ags"))
     rows = {}
     for name in settings.sequences:
         baseline = run_slam("splatam", name, num_frames=settings.num_frames)
@@ -331,6 +361,7 @@ def fig17_task_speedup(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
 
 def fig16_energy(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 16: energy efficiency of AGS over the GPUs."""
+    _prefetch(settings, ("splatam", "ags"))
     rows = {}
     for name in settings.sequences:
         baseline = run_slam("splatam", name, num_frames=settings.num_frames)
@@ -363,6 +394,8 @@ def table3_area() -> dict:
 
 def fig18_ablation(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 18: stepwise contribution of the algorithm and architecture."""
+    _prefetch(settings, ("splatam", "ags"))
+    _prefetch(settings, ("ags",), enable_gcm=False)
     gpu = GpuPlatform(NVIDIA_A100)
     no_scheduler_server = dataclasses.replace(AGS_SERVER, enable_gpe_scheduler=False)
     rows = {}
@@ -394,6 +427,7 @@ def fig18_ablation(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
 
 def fig23_gaussian_slam(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 23: generality — Gaussian-SLAM accelerated by the AGS hardware."""
+    _prefetch(settings, ("gaussian-slam",))
     rows = {}
     for name in settings.sequences:
         gslam = run_slam("gaussian-slam", name, num_frames=settings.num_frames)
@@ -471,6 +505,7 @@ def fig21_thresh_n_sensitivity(
 
 def fig22_covisibility_levels(settings: EvalSettings = DEFAULT_SETTINGS) -> dict:
     """Fig. 22: proportion of adjacent frames at high / medium / low covisibility."""
+    _prefetch(settings, ("ags",))
     rows = {}
     for name in settings.sequences:
         ags = run_slam("ags", name, num_frames=settings.num_frames)

@@ -1,22 +1,24 @@
 """Shared experiment infrastructure: cached SLAM runs and platform sims.
 
 Running the NumPy SLAM systems is the expensive part of every experiment,
-so runs are cached by (algorithm, sequence, configuration) for the
-lifetime of the process; all experiments and benchmarks share the cache.
+so runs are cached by :class:`repro.eval.service.RunKey` in the
+process-default :class:`repro.eval.service.SlamService` — a *bounded*
+LRU store that all experiments and benchmarks share, and whose
+``run_many(keys, workers=N)`` batch API executes independent runs
+concurrently.  :func:`run_slam` is the compatibility shim over it.
 
 Every uncached run records wall-clock sections and op counters into the
 process-wide :func:`repro.perf.global_recorder` (under
 ``eval/<algorithm>/<sequence>``), which the speed benchmarks serialize
-into the repo's ``BENCH_*.json`` perf-trajectory files.
+into the repo's ``BENCH_*.json`` perf-trajectory files; concurrent
+workers record into per-session recorders merged into the global one.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 
-from repro.core import AGSConfig, AgsSlam
-from repro.datasets import load_sequence
+from repro.eval.service import RunKey, default_service
 from repro.hardware import (
     AGS_EDGE,
     AGS_SERVER,
@@ -26,11 +28,14 @@ from repro.hardware import (
     JETSON_XAVIER,
     NVIDIA_A100,
 )
-from repro.perf import global_recorder
-from repro.slam import GaussianSlam, GaussianSlamConfig, OrbLiteSlam, SplaTam, SplaTamConfig
 from repro.workloads import scale_trace
 
-__all__ = ["EvalSettings", "run_slam", "collect_platform_results", "scaled_trace_for_platforms"]
+__all__ = [
+    "EvalSettings",
+    "run_slam",
+    "collect_platform_results",
+    "scaled_trace_for_platforms",
+]
 
 # Full-scale workload the traces are extrapolated to before platform
 # simulation (the paper's 640x480 frames and a SplaTAM-sized map).
@@ -54,12 +59,14 @@ class EvalSettings:
     all_sequences: tuple[str, ...] = (
         "desk", "desk2", "room", "xyz", "house", "room0", "office0", "s1", "s2",
     )
+    # Worker threads the experiment functions hand to SlamService.run_many;
+    # 1 keeps everything on the caller's thread.
+    workers: int = 1
 
 
 DEFAULT_SETTINGS = EvalSettings()
 
 
-@functools.lru_cache(maxsize=None)
 def run_slam(
     algorithm: str,
     sequence_name: str,
@@ -74,9 +81,16 @@ def run_slam(
 ):
     """Run (and cache) one SLAM configuration on one sequence.
 
+    Compatibility shim over the process-default
+    :class:`repro.eval.service.SlamService`: the arguments form a
+    :class:`repro.eval.service.RunKey` and repeated calls return the
+    stored result instance (bounded LRU, unlike the unbounded
+    ``lru_cache`` this replaces).
+
     Args:
         algorithm: ``"splatam"``, ``"ags"``, ``"gaussian-slam"``,
-            ``"ags-gaussian-slam"`` or ``"orb"``.
+            ``"ags-gaussian-slam"``, ``"orb"``, ``"droid"`` or
+            ``"droid-splatam"``.
         sequence_name: registered sequence name.
         num_frames: frames to process.
         tracking_iterations: baseline N_T.
@@ -88,62 +102,19 @@ def run_slam(
     Returns:
         The :class:`repro.slam.results.SlamResult` of the run.
     """
-    known = ("splatam", "gaussian-slam", "orb", "ags", "ags-gaussian-slam", "droid-splatam")
-    if algorithm not in known:
-        raise ValueError(f"unknown algorithm '{algorithm}'")
-    sequence = load_sequence(sequence_name, num_frames=num_frames)
-    perf = global_recorder()
-    with perf.section(f"eval/{algorithm}/{sequence_name}"):
-        if algorithm == "splatam":
-            system = SplaTam(
-                sequence.intrinsics,
-                SplaTamConfig(
-                    tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
-                ),
-                perf=perf,
-            )
-            return system.run(sequence, num_frames=num_frames)
-        if algorithm == "gaussian-slam":
-            system = GaussianSlam(
-                sequence.intrinsics,
-                GaussianSlamConfig(
-                    tracking_iterations=tracking_iterations, mapping_iterations=mapping_iterations
-                ),
-            )
-            return system.run(sequence, num_frames=num_frames)
-        if algorithm == "orb":
-            system = OrbLiteSlam(sequence.intrinsics)
-            return system.run(sequence, num_frames=num_frames)
-        if algorithm in ("ags", "ags-gaussian-slam"):
-            config = AGSConfig(
-                iter_t=iter_t,
-                thresh_m=thresh_m,
-                thresh_n=thresh_n,
-                baseline_tracking_iterations=tracking_iterations,
-                enable_movement_adaptive_tracking=enable_mat,
-                enable_contribution_mapping=enable_gcm,
-            )
-            system = AgsSlam(
-                sequence.intrinsics, config, mapping_iterations=mapping_iterations, perf=perf
-            )
-            return system.run(sequence, num_frames=num_frames)
-        if algorithm == "droid-splatam":
-            # Direct integration of the coarse tracker with SplaTAM mapping:
-            # every frame keeps the coarse pose (thresh_t below any possible
-            # covisibility disables refinement) and runs full mapping.
-            config = AGSConfig(
-                thresh_t=-1.0,
-                iter_t=0,
-                baseline_tracking_iterations=tracking_iterations,
-                enable_contribution_mapping=False,
-            )
-            system = AgsSlam(
-                sequence.intrinsics, config, mapping_iterations=mapping_iterations, perf=perf
-            )
-            result = system.run(sequence, num_frames=num_frames)
-            result.algorithm = "droid-splatam"
-            return result
-    raise AssertionError(f"unhandled algorithm '{algorithm}'")  # pragma: no cover
+    key = RunKey(
+        algorithm=algorithm,
+        sequence=sequence_name,
+        num_frames=num_frames,
+        tracking_iterations=tracking_iterations,
+        mapping_iterations=mapping_iterations,
+        iter_t=iter_t,
+        thresh_m=thresh_m,
+        thresh_n=thresh_n,
+        enable_mat=enable_mat,
+        enable_gcm=enable_gcm,
+    )
+    return default_service().run(key)
 
 
 def scaled_trace_for_platforms(result):

@@ -1,0 +1,376 @@
+"""The SLAM evaluation service: a bounded, concurrent run store.
+
+Running the NumPy SLAM systems is the expensive part of every experiment.
+Earlier revisions cached runs with an unbounded process-wide
+``functools.lru_cache`` and executed strictly sequentially; this module
+replaces that with :class:`SlamService`:
+
+* **Key-addressed**: every run is identified by a :class:`RunKey` — the
+  one (algorithm, sequence, configuration) tuple shared by the service,
+  the benchmarks and the tests, so no call site re-derives cache keys.
+* **Bounded**: completed results live in an LRU store capped at
+  ``max_entries``; production workloads can stream thousands of
+  configurations without the cache footprint growing without bound.
+* **Concurrent**: ``run_many([...], workers=N)`` executes independent
+  runs on a thread pool.  Each worker records into its own
+  :class:`~repro.perf.PerfRecorder`, merged into the service recorder
+  under the store lock, and dataset frame rendering is
+  order-deterministic (see :mod:`repro.datasets.sequences`), so
+  concurrent execution returns bit-identical results to sequential.
+* **Checkpointable**: live sessions can be parked to disk
+  (:meth:`SlamService.checkpoint` / :meth:`SlamService.resume`) using
+  the npz + JSON-manifest format of :mod:`repro.slam.session`.
+
+:func:`repro.eval.runner.run_slam` remains as a thin compatibility shim
+over the process-default service.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import pathlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.perf import PerfRecorder, global_recorder
+from repro.slam.results import SlamResult
+from repro.slam.session import SessionState, load_session_state, save_session_state
+
+__all__ = [
+    "KNOWN_ALGORITHMS",
+    "RunKey",
+    "SlamService",
+    "configure_default_service",
+    "default_service",
+]
+
+KNOWN_ALGORITHMS = (
+    "splatam",
+    "gaussian-slam",
+    "orb",
+    "droid",
+    "ags",
+    "ags-gaussian-slam",
+    "droid-splatam",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunKey:
+    """The canonical (algorithm, sequence, configuration) run identity.
+
+    Every layer that caches, schedules or compares SLAM runs — the
+    service store, the benchmarks, the experiment functions and the
+    tests — builds this one dataclass instead of re-deriving ad-hoc key
+    tuples per call site.
+
+    The defaults mirror the historical ``run_slam`` defaults
+    (:data:`repro.eval.runner.DEFAULT_SETTINGS`).
+    """
+
+    algorithm: str
+    sequence: str
+    num_frames: int = 10
+    tracking_iterations: int = 20
+    mapping_iterations: int = 5
+    iter_t: int = 4
+    thresh_m: float = 0.5
+    thresh_n: int | None = None
+    enable_mat: bool = True
+    enable_gcm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in KNOWN_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm '{self.algorithm}'; expected one of {KNOWN_ALGORITHMS}"
+            )
+
+    @classmethod
+    def from_settings(cls, algorithm: str, sequence: str, settings, **overrides) -> "RunKey":
+        """Build the key for one run of an :class:`EvalSettings` experiment.
+
+        ``settings.num_frames`` sizes the run (the quantity experiments
+        previously re-derived at every call site); iteration counts keep
+        the ``run_slam`` defaults unless overridden, matching the
+        historical experiment configuration.
+        """
+        return cls(algorithm=algorithm, sequence=sequence, num_frames=settings.num_frames, **overrides)
+
+    def slug(self) -> str:
+        """A filesystem-safe name for checkpoints / reports."""
+        parts = [
+            self.algorithm,
+            self.sequence,
+            f"f{self.num_frames}",
+            f"t{self.tracking_iterations}",
+            f"m{self.mapping_iterations}",
+            f"i{self.iter_t}",
+            f"tm{self.thresh_m:g}",
+            f"tn{self.thresh_n if self.thresh_n is not None else 'auto'}",
+            f"mat{int(self.enable_mat)}",
+            f"gcm{int(self.enable_gcm)}",
+        ]
+        return "-".join(parts).replace("/", "_")
+
+
+def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
+    """Run one SLAM configuration from scratch, recording into ``perf``."""
+    # Imported here: the SLAM systems import the perf subsystem, and the
+    # eval layer is the composition root — keeping the import local avoids
+    # a hard dependency for callers that only build keys.
+    from repro.core import AGSConfig, AgsSlam
+    from repro.datasets import load_sequence
+    from repro.slam import (
+        DroidLiteSlam,
+        GaussianSlam,
+        GaussianSlamConfig,
+        OrbLiteSlam,
+        SplaTam,
+        SplaTamConfig,
+    )
+
+    sequence = load_sequence(key.sequence, num_frames=key.num_frames)
+    with perf.section(f"eval/{key.algorithm}/{key.sequence}"):
+        if key.algorithm == "splatam":
+            system = SplaTam(
+                sequence.intrinsics,
+                SplaTamConfig(
+                    tracking_iterations=key.tracking_iterations,
+                    mapping_iterations=key.mapping_iterations,
+                ),
+                perf=perf,
+            )
+            return system.run(sequence, num_frames=key.num_frames)
+        if key.algorithm == "gaussian-slam":
+            system = GaussianSlam(
+                sequence.intrinsics,
+                GaussianSlamConfig(
+                    tracking_iterations=key.tracking_iterations,
+                    mapping_iterations=key.mapping_iterations,
+                ),
+                perf=perf,
+            )
+            return system.run(sequence, num_frames=key.num_frames)
+        if key.algorithm == "orb":
+            system = OrbLiteSlam(sequence.intrinsics, perf=perf)
+            return system.run(sequence, num_frames=key.num_frames)
+        if key.algorithm == "droid":
+            system = DroidLiteSlam(sequence.intrinsics, perf=perf)
+            return system.run(sequence, num_frames=key.num_frames)
+        if key.algorithm in ("ags", "ags-gaussian-slam"):
+            config = AGSConfig(
+                iter_t=key.iter_t,
+                thresh_m=key.thresh_m,
+                thresh_n=key.thresh_n,
+                baseline_tracking_iterations=key.tracking_iterations,
+                enable_movement_adaptive_tracking=key.enable_mat,
+                enable_contribution_mapping=key.enable_gcm,
+            )
+            system = AgsSlam(
+                sequence.intrinsics, config, mapping_iterations=key.mapping_iterations, perf=perf
+            )
+            return system.run(sequence, num_frames=key.num_frames)
+        if key.algorithm == "droid-splatam":
+            # Direct integration of the coarse tracker with SplaTAM mapping:
+            # every frame keeps the coarse pose (thresh_t below any possible
+            # covisibility disables refinement) and runs full mapping.
+            config = AGSConfig(
+                thresh_t=-1.0,
+                iter_t=0,
+                baseline_tracking_iterations=key.tracking_iterations,
+                enable_contribution_mapping=False,
+            )
+            system = AgsSlam(
+                sequence.intrinsics, config, mapping_iterations=key.mapping_iterations, perf=perf
+            )
+            result = system.run(sequence, num_frames=key.num_frames)
+            result.algorithm = "droid-splatam"
+            return result
+    raise AssertionError(f"unhandled algorithm '{key.algorithm}'")  # pragma: no cover
+
+
+class SlamService:
+    """Bounded, key-addressed, concurrency-capable SLAM run store.
+
+    Args:
+        max_entries: LRU budget of retained :class:`SlamResult` objects.
+            Results beyond the budget are evicted least-recently-used —
+            the production-scale replacement for the former unbounded
+            ``lru_cache(maxsize=None)``.
+        checkpoint_dir: optional directory for parked session
+            checkpoints (:meth:`checkpoint` / :meth:`resume`).
+        perf: recorder uncached runs record into (default: the
+            process-wide :func:`repro.perf.global_recorder`).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        checkpoint_dir=None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.checkpoint_dir = None if checkpoint_dir is None else pathlib.Path(checkpoint_dir)
+        self.perf = perf or global_recorder()
+        self._store: collections.OrderedDict[RunKey, SlamResult] = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Store management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: RunKey) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def cached_keys(self) -> list[RunKey]:
+        """Retained keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._store)
+
+    def clear(self) -> None:
+        """Drop every retained run."""
+        with self._lock:
+            self._store.clear()
+
+    def _get(self, key: RunKey) -> SlamResult | None:
+        result = self._store.get(key)
+        if result is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+        return result
+
+    def _put(self, key: RunKey, result: SlamResult) -> None:
+        self._store[key] = result
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, key: RunKey) -> SlamResult:
+        """Return the result for ``key``, executing it on a miss.
+
+        Thread-safe: every execution records into a private
+        :class:`PerfRecorder` merged into the service recorder under the
+        store lock, so concurrent ``run`` calls never interleave on one
+        recorder's section stack.
+        """
+        with self._lock:
+            result = self._get(key)
+            if result is None:
+                self.misses += 1
+        if result is not None:
+            return result
+        recorder = PerfRecorder()
+        result = _execute_run(key, recorder)
+        with self._lock:
+            # A concurrent caller may have landed the same key first; keep
+            # the stored instance so repeated lookups stay identical.
+            existing = self._store.get(key)
+            if existing is not None:
+                self._store.move_to_end(key)
+                result = existing
+            else:
+                self._put(key, result)
+            self.perf.merge(recorder)
+        return result
+
+    def run_many(self, keys, workers: int = 1) -> list[SlamResult]:
+        """Execute several run keys, optionally on a worker pool.
+
+        Duplicate keys are executed once.  With ``workers > 1`` the
+        missing runs execute concurrently, each recording into a private
+        :class:`PerfRecorder` that is merged into the service recorder on
+        completion; results are bit-identical to sequential execution.
+        Worker results are returned directly (not re-fetched through the
+        store), so a batch larger than ``max_entries`` still executes
+        every run exactly once — eviction only limits what is *retained*.
+
+        Returns the results in the order of ``keys``.
+        """
+        keys = list(keys)
+        if workers <= 1:
+            return [self.run(key) for key in keys]
+
+        results: dict[RunKey, SlamResult] = {}
+        with self._lock:
+            for key in keys:
+                if key not in results:
+                    cached = self._get(key)
+                    if cached is not None:
+                        results[key] = cached
+            missing = [key for key in dict.fromkeys(keys) if key not in results]
+            self.misses += len(missing)
+
+        def _worker(key: RunKey):
+            recorder = PerfRecorder()
+            result = _execute_run(key, recorder)
+            return key, result, recorder
+
+        if missing:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for key, result, recorder in pool.map(_worker, missing):
+                    with self._lock:
+                        existing = self._store.get(key)
+                        if existing is not None:
+                            self._store.move_to_end(key)
+                            result = existing
+                        else:
+                            self._put(key, result)
+                        self.perf.merge(recorder)
+                    results[key] = result
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Disk checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, key: RunKey, directory=None) -> pathlib.Path:
+        base = pathlib.Path(directory) if directory is not None else self.checkpoint_dir
+        if base is None:
+            raise ValueError("no checkpoint directory configured")
+        return base / key.slug()
+
+    def checkpoint(self, key: RunKey, state: SessionState, directory=None) -> pathlib.Path:
+        """Park a live session's :class:`SessionState` on disk under ``key``."""
+        return save_session_state(state, self._checkpoint_path(key, directory))
+
+    def resume(self, key: RunKey, directory=None) -> SessionState:
+        """Load the parked session state for ``key``."""
+        return load_session_state(self._checkpoint_path(key, directory))
+
+
+_DEFAULT_SERVICE = SlamService()
+
+
+def default_service() -> SlamService:
+    """The process-wide service instance ``run_slam`` delegates to."""
+    return _DEFAULT_SERVICE
+
+
+def configure_default_service(
+    max_entries: int | None = None, checkpoint_dir=None
+) -> SlamService:
+    """Adjust the process-default service (budget / checkpoint location)."""
+    service = _DEFAULT_SERVICE
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        service.max_entries = max_entries
+        with service._lock:
+            while len(service._store) > service.max_entries:
+                service._store.popitem(last=False)
+                service.evictions += 1
+    if checkpoint_dir is not None:
+        service.checkpoint_dir = pathlib.Path(checkpoint_dir)
+    return service

@@ -202,6 +202,24 @@ class Pose:
         matrix = np.asarray(matrix, dtype=np.float64)
         return cls(quat=rotmat_to_quat(matrix[:3, :3]), trans=matrix[:3, 3])
 
+    def as_vector(self) -> np.ndarray:
+        """Pack the pose as a flat ``[quat(4), trans(3)]`` vector (checkpoints)."""
+        return np.concatenate([self.quat, self.trans])
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "Pose":
+        """Restore a pose packed by :meth:`as_vector` bit-exactly.
+
+        ``__post_init__`` re-normalizes the quaternion, which can perturb
+        the last ulp of an already-normalized quaternion; checkpoints must
+        restore the stored bits exactly, so the normalization is undone by
+        re-assigning the raw stored values.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        pose = cls(quat=vector[:4], trans=vector[4:7])
+        pose.quat = vector[:4].copy()
+        return pose
+
     @classmethod
     def look_at(cls, eye: np.ndarray, target: np.ndarray, up: np.ndarray | None = None) -> "Pose":
         """Build a world-to-camera pose for a camera at ``eye`` looking at ``target``.

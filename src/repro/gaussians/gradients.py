@@ -340,8 +340,6 @@ def _accumulate_bucketed(
 
     colors = model.colors
     depths = projection.depths
-    means_x = projection.means2d[:, 0]
-    means_y = projection.means2d[:, 1]
     conic00 = projection.conics[:, 0, 0]
     conic01 = projection.conics[:, 0, 1]
     conic11 = projection.conics[:, 1, 1]
@@ -413,15 +411,11 @@ def _accumulate_bucketed(
         opac_safe = np.where(chunk.opac > 0.0, chunk.opac, 1.0)
         _scatter_add(acc.d_opacity_sigmoid, ids, dl_dpower.sum(axis=1) / opac_safe)
 
-        # Pixel offsets d = pixel - mean2d, rebuilt from the cached tile
-        # origins and the grid's per-shape offset cache.
-        col_off, row_off, _ = grid.tile_offsets(chunk.tile_w, chunk.tile_h)
-        px = chunk.origin_x[:, None] + col_off[None, :] + 0.5
-        py = chunk.origin_y[:, None] + row_off[None, :] + 0.5
-        dx = pool.take("bwd.dx", shape, np.float64)
-        dy = pool.take("bwd.dy", shape, np.float64)
-        np.subtract(px[:, :, None], means_x[ids][:, None, :], out=dx)
-        np.subtract(py[:, :, None], means_y[ids][:, None, :], out=dy)
+        # Pixel offsets d = pixel - mean2d, retained by the forward pass
+        # (the cache trades two more (T, P, G) arrays for skipping this
+        # rebuild on every backward call).
+        dx = chunk.dx
+        dy = chunk.dy
 
         # dpower/dmean2d = A @ d: per-Gaussian pixel sums of dL/dpower * d,
         # contracted with the (symmetric) conic outside the pixel sum.

@@ -102,6 +102,26 @@ class Adam:
             self._step_counts[name] = step
         return updated
 
+    def state_dict(self) -> dict:
+        """Snapshot the moment estimates and step counts (checkpointing)."""
+        return {
+            "first_moments": {name: m.copy() for name, m in self._first_moments.items()},
+            "second_moments": {name: v.copy() for name, v in self._second_moments.items()},
+            "step_counts": dict(self._step_counts),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._first_moments = {
+            name: np.asarray(m, dtype=np.float64).copy()
+            for name, m in state["first_moments"].items()
+        }
+        self._second_moments = {
+            name: np.asarray(v, dtype=np.float64).copy()
+            for name, v in state["second_moments"].items()
+        }
+        self._step_counts = {name: int(count) for name, count in state["step_counts"].items()}
+
     def resize_state(self, name: str, keep_indices: np.ndarray, new_count: int) -> None:
         """Shrink/grow the optimizer state after densification or pruning.
 

@@ -104,6 +104,8 @@ class _CachedChunk:
     t_before: np.ndarray  # (T, P, G) exclusive transmittances
     weights: np.ndarray  # (T, P, G) blending weights T * alpha
     clamped: np.ndarray  # (T, P, G) bool: raw alpha exceeded ALPHA_MAX
+    dx: np.ndarray  # (T, P, G) pixel-minus-mean x offsets (backward reuse)
+    dy: np.ndarray  # (T, P, G) pixel-minus-mean y offsets
 
 
 class ForwardCache:
@@ -453,8 +455,15 @@ def _render_bucketed(
                           + origin_x[:, None] + col_off[None, :]).reshape(-1)
 
             shape = (num_tiles, num_pixels, padded)
-            dx = pool.take("dx", shape, dtype)
-            dy = pool.take("dy", shape, dtype)
+            if cache is not None:
+                # The pixel offsets are retained for the fused backward
+                # pass (dpower/dmean and dpower/dconic both need them), so
+                # the backward skips recomputing them per chunk.
+                dx = pool.take(f"cache.dx.{chunk_index}", shape, dtype)
+                dy = pool.take(f"cache.dy.{chunk_index}", shape, dtype)
+            else:
+                dx = pool.take("dx", shape, dtype)
+                dy = pool.take("dy", shape, dtype)
             power = pool.take("power", shape, dtype)
             cross = pool.take("cross", shape, dtype)
             np.subtract(px[:, :, None], means_x[ids][:, None, :], out=dx)
@@ -488,7 +497,10 @@ def _render_bucketed(
             np.minimum(alpha, dtype.type(ALPHA_MAX), out=alpha)
             alpha[alpha < dtype.type(ALPHA_MIN)] = 0.0
 
-            one_minus = np.subtract(dtype.type(1.0), alpha, out=dx)
+            if cache is not None:
+                one_minus = np.subtract(dtype.type(1.0), alpha, out=pool.take("one_minus", shape, dtype))
+            else:
+                one_minus = np.subtract(dtype.type(1.0), alpha, out=dx)
             np.cumprod(one_minus, axis=2, out=t_before)
             t_before[:, :, 1:] = t_before[:, :, :-1]
             t_before[:, :, 0] = 1.0
@@ -548,6 +560,8 @@ def _render_bucketed(
                         t_before=t_before,
                         weights=weights,
                         clamped=clamped,
+                        dx=dx,
+                        dy=dy,
                     )
                 )
             chunk_index += 1

@@ -81,6 +81,16 @@ class PerfRecorder:
         self.timers.reset()
         self.counters.reset()
 
+    def merge(self, other: "PerfRecorder") -> None:
+        """Fold another recorder's timings and counters into this one.
+
+        Used by :class:`repro.eval.service.SlamService` to combine the
+        per-session recorders of concurrent workers into the process-wide
+        recorder without sharing (and racing on) one section stack.
+        """
+        self.timers.merge(other.timers)
+        self.counters.merge(other.counters)
+
     def as_dict(self) -> dict:
         """Snapshot both halves (same structure as ``build_report``)."""
         return build_report(self)

@@ -31,6 +31,13 @@ class SectionStats:
         if seconds > self.max_seconds:
             self.max_seconds = seconds
 
+    def merge(self, other: "SectionStats") -> None:
+        """Fold another section's statistics into this one."""
+        self.total_seconds += other.total_seconds
+        self.calls += other.calls
+        if other.max_seconds > self.max_seconds:
+            self.max_seconds = other.max_seconds
+
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.calls if self.calls else 0.0
@@ -82,6 +89,14 @@ class PerfTimers:
         """Stats of a slash-joined section path (None if never entered)."""
         return self._stats.get(path)
 
+    def merge(self, other: "PerfTimers") -> None:
+        """Fold every section of ``other`` into this instance (additively)."""
+        for path, stats in other._stats.items():
+            mine = self._stats.get(path)
+            if mine is None:
+                mine = self._stats[path] = SectionStats()
+            mine.merge(stats)
+
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Snapshot ``{path: {total_seconds, calls, mean, max}}``, sorted."""
         return {path: stats.as_dict() for path, stats in sorted(self._stats.items())}
@@ -115,6 +130,9 @@ class NullTimers:
 
     def get(self, path: str) -> None:
         return None
+
+    def merge(self, other) -> None:
+        pass
 
     def as_dict(self) -> dict:
         return {}

@@ -8,11 +8,18 @@ and compared against.
 """
 
 from repro.slam.results import FrameResult, SlamResult
+from repro.slam.session import (
+    SessionRunner,
+    SessionState,
+    SlamSession,
+    load_session_state,
+    save_session_state,
+)
 from repro.slam.trajectory_eval import align_trajectories, ate_rmse, rpe_rmse
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig, TrackingOutcome
 from repro.slam.mapper import GaussianMapper, MapperConfig, MappingOutcome
 from repro.slam.keyframes import KeyframeManager, Keyframe
-from repro.slam.droid import DroidLiteTracker, DroidLiteConfig
+from repro.slam.droid import DroidLiteTracker, DroidLiteConfig, DroidLiteSlam
 from repro.slam.orb import OrbLiteSlam, OrbLiteConfig
 from repro.slam.splatam import SplaTam, SplaTamConfig
 from repro.slam.gaussian_slam import GaussianSlam, GaussianSlamConfig
@@ -20,6 +27,7 @@ from repro.slam.quality import evaluate_mapping_quality
 
 __all__ = [
     "DroidLiteConfig",
+    "DroidLiteSlam",
     "DroidLiteTracker",
     "FrameResult",
     "GaussianMapper",
@@ -32,7 +40,10 @@ __all__ = [
     "MappingOutcome",
     "OrbLiteConfig",
     "OrbLiteSlam",
+    "SessionRunner",
+    "SessionState",
     "SlamResult",
+    "SlamSession",
     "SplaTam",
     "SplaTamConfig",
     "TrackerConfig",
@@ -40,5 +51,7 @@ __all__ = [
     "align_trajectories",
     "ate_rmse",
     "evaluate_mapping_quality",
+    "load_session_state",
+    "save_session_state",
     "rpe_rmse",
 ]

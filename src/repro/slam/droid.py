@@ -30,8 +30,11 @@ import numpy as np
 from scipy.ndimage import convolve
 
 from repro.gaussians.camera import Intrinsics, Pose, rotmat_to_quat, so3_exp
+from repro.perf import PerfRecorder
+from repro.slam.results import FrameResult
+from repro.slam.session import SessionRunner, pack_pose, unpack_pose
 
-__all__ = ["DroidLiteConfig", "DroidLiteTracker", "CoarseTrackingOutcome"]
+__all__ = ["DroidLiteConfig", "DroidLiteTracker", "DroidLiteSlam", "CoarseTrackingOutcome"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -370,3 +373,76 @@ class DroidLiteTracker:
         estimated = outcome.relative.compose(prev_pose)
         outcome.pose = estimated
         return outcome
+
+
+class DroidLiteSlam(SessionRunner):
+    """Pure coarse-tracking odometry as a streaming :class:`SlamSession`.
+
+    Runs the neural-style coarse tracker frame-to-frame with a
+    constant-velocity prior and no map — the "Droid-only" operating point
+    the paper's Table 4 composes with SplaTAM mapping.  Exposing it as a
+    session makes the coarse path streamable, checkpointable and usable
+    by the eval service exactly like the full systems.
+    """
+
+    algorithm = "droid-lite"
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        config: DroidLiteConfig | None = None,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        self.config = config or DroidLiteConfig()
+        super().__init__(intrinsics, collect_trace=False, perf=perf)
+        self.tracker = DroidLiteTracker(intrinsics, self.config)
+        self._prev_gray: np.ndarray | None = None
+        self._prev_depth: np.ndarray | None = None
+        self._prev_pose: Pose | None = None
+        self._last_relative: Pose | None = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget the previous frame and the velocity prior."""
+        self._prev_gray = None
+        self._prev_depth = None
+        self._prev_pose = None
+        self._last_relative = None
+
+    # ------------------------------------------------------------------
+    def _step(self, index: int, frame) -> tuple[FrameResult, None]:
+        if index == 0 or self._prev_gray is None:
+            pose = frame.gt_pose.copy()
+        else:
+            with self.perf.section("droid/coarse"):
+                outcome = self.tracker.track(
+                    self._prev_gray,
+                    self._prev_depth,
+                    self._prev_pose,
+                    frame.gray,
+                    velocity_prior=self._last_relative,
+                )
+            pose = outcome.pose
+            self._last_relative = outcome.relative.copy()
+            self.perf.count("droid.coarse_flops", outcome.flops)
+        self.perf.count("frames.processed")
+        self._prev_gray = np.asarray(frame.gray)
+        self._prev_depth = np.asarray(frame.depth)
+        self._prev_pose = pose
+        return FrameResult(frame_index=index, estimated_pose=pose.copy()), None
+
+    def _state_payload(self) -> dict:
+        return {
+            "prev_gray": None if self._prev_gray is None else self._prev_gray.copy(),
+            "prev_depth": None if self._prev_depth is None else self._prev_depth.copy(),
+            "prev_pose": pack_pose(self._prev_pose),
+            "last_relative": pack_pose(self._last_relative),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        prev_gray = payload["prev_gray"]
+        prev_depth = payload["prev_depth"]
+        self._prev_gray = None if prev_gray is None else np.asarray(prev_gray).copy()
+        self._prev_depth = None if prev_depth is None else np.asarray(prev_depth).copy()
+        self._prev_pose = unpack_pose(payload["prev_pose"])
+        self._last_relative = unpack_pose(payload["last_relative"])

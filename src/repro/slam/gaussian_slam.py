@@ -18,12 +18,13 @@ import numpy as np
 
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
-from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.perf import PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
-from repro.slam.results import FrameResult, SlamResult
+from repro.slam.results import FrameResult
+from repro.slam.session import SessionRunner, pack_model, pack_pose, unpack_model, unpack_pose
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
-from repro.workloads import FrameTrace, SequenceTrace, TrackingWorkload
+from repro.workloads import FrameTrace, TrackingWorkload
 
 __all__ = ["GaussianSlamConfig", "GaussianSlam", "SubMap"]
 
@@ -55,8 +56,10 @@ class GaussianSlamConfig:
     collect_trace: bool = True
 
 
-class GaussianSlam:
-    """Sub-map based 3DGS-SLAM backbone."""
+class GaussianSlam(SessionRunner):
+    """Sub-map based 3DGS-SLAM backbone (a streaming :class:`SlamSession`)."""
+
+    algorithm = "gaussian-slam"
 
     def __init__(
         self,
@@ -64,9 +67,8 @@ class GaussianSlam:
         config: GaussianSlamConfig | None = None,
         perf: PerfRecorder | None = None,
     ) -> None:
-        self.intrinsics = intrinsics
         self.config = config or GaussianSlamConfig()
-        self.perf = perf or NULL_RECORDER
+        super().__init__(intrinsics, collect_trace=self.config.collect_trace, perf=perf)
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
@@ -123,91 +125,108 @@ class GaussianSlam:
         model.log_scales = (1.0 - weight) * model.log_scales + weight * mean_log_scale
 
     # ------------------------------------------------------------------
-    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
-        """Run the backbone over a sequence."""
-        self.reset()
-        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
-        result = SlamResult(algorithm="gaussian-slam", sequence=sequence.name)
-        trace = SequenceTrace(
-            sequence=sequence.name,
-            algorithm="gaussian-slam",
-            width=self.intrinsics.width,
-            height=self.intrinsics.height,
-        )
+    def _final_model(self) -> GaussianModel:
+        return self.global_model()
 
-        for index in range(total):
-            frame = sequence[index]
-            # ---------------- Tracking against the active sub-map --------
-            if index == 0:
-                pose = frame.gt_pose.copy() if self.config.anchor_first_pose_to_gt else Pose.identity()
-                tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
-                tracking_loss, tracking_iterations = 0.0, 0
-            else:
-                initial = self.tracker.initial_guess(self._pose_history)
-                active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
-                with self.perf.section("gaussian_slam/tracking"):
-                    outcome = self.tracker.track(
-                        active_model, frame.color, frame.depth, initial,
-                        collect_workload=self.config.collect_trace,
-                    )
-                pose = outcome.pose
-                tracking_workload = outcome.workload
-                tracking_loss = outcome.final_loss
-                tracking_iterations = outcome.iterations_run
-            self._pose_history.append(pose.copy())
-            self.perf.count("tracking.refine_iterations", tracking_iterations)
+    def _state_payload(self) -> dict:
+        return {
+            "submaps": [
+                {
+                    "anchor_pose": pack_pose(submap.anchor_pose),
+                    "model": pack_model(submap.model),
+                    "frozen": submap.frozen,
+                    "frame_indices": list(submap.frame_indices),
+                }
+                for submap in self.submaps
+            ],
+            "pose_history": [pack_pose(pose) for pose in self._pose_history],
+            "keyframes": self.keyframes.state_dict(),
+            "mapper": self.mapper.state_dict(),
+        }
 
-            # ---------------- Sub-map management -------------------------
-            if self._needs_new_submap(pose):
-                if self.active_submap is not None:
-                    self.active_submap.frozen = True
-                self.submaps.append(
-                    SubMap(anchor_pose=pose.copy(), model=GaussianModel.empty())
-                )
-                self.keyframes.reset()
-                self.perf.count("gaussian_slam.submaps_created")
+    def _restore_payload(self, payload: dict) -> None:
+        self.submaps = [
+            SubMap(
+                anchor_pose=unpack_pose(entry["anchor_pose"]),
+                model=unpack_model(entry["model"]),
+                frozen=bool(entry["frozen"]),
+                frame_indices=[int(i) for i in entry["frame_indices"]],
+            )
+            for entry in payload["submaps"]
+        ]
+        self._pose_history = [unpack_pose(vector) for vector in payload["pose_history"]]
+        self.keyframes.load_state_dict(payload["keyframes"])
+        self.mapper.load_state_dict(payload["mapper"])
 
-            submap = self.active_submap
-            with self.perf.section("gaussian_slam/mapping"):
-                mapping_outcome = self.mapper.map_frame(
-                    submap.model,
-                    frame.color,
-                    frame.depth,
-                    pose,
-                    keyframes=self.keyframes.mapping_views(),
+    # ------------------------------------------------------------------
+    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
+        return self.process_frame(index, frame)
+
+    def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
+        """Process one frame: track against the active sub-map, then map."""
+        # ---------------- Tracking against the active sub-map ------------
+        if index == 0:
+            pose = frame.gt_pose.copy() if self.config.anchor_first_pose_to_gt else Pose.identity()
+            tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
+            tracking_loss, tracking_iterations = 0.0, 0
+        else:
+            initial = self.tracker.initial_guess(self._pose_history)
+            active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
+            with self.perf.section("gaussian_slam/tracking"):
+                outcome = self.tracker.track(
+                    active_model, frame.color, frame.depth, initial,
                     collect_workload=self.config.collect_trace,
                 )
-            self.perf.count("frames.processed")
-            self.perf.count("mapping.iterations", mapping_outcome.iterations_run)
-            submap.model = mapping_outcome.model
-            self._apply_scale_regularization(submap.model)
-            submap.frame_indices.append(index)
+            pose = outcome.pose
+            tracking_workload = outcome.workload
+            tracking_loss = outcome.final_loss
+            tracking_iterations = outcome.iterations_run
+        self._pose_history.append(pose.copy())
+        self.perf.count("tracking.refine_iterations", tracking_iterations)
 
-            if self.keyframes.should_add(index, pose):
-                self.keyframes.add(index, frame.color, frame.depth, pose)
-
-            result.frames.append(
-                FrameResult(
-                    frame_index=index,
-                    estimated_pose=pose.copy(),
-                    tracking_iterations=tracking_iterations,
-                    mapping_iterations=mapping_outcome.iterations_run,
-                    tracking_loss=tracking_loss,
-                    mapping_loss=mapping_outcome.final_loss,
-                    num_gaussians=len(self.global_model()),
-                )
+        # ---------------- Sub-map management -----------------------------
+        if self._needs_new_submap(pose):
+            if self.active_submap is not None:
+                self.active_submap.frozen = True
+            self.submaps.append(
+                SubMap(anchor_pose=pose.copy(), model=GaussianModel.empty())
             )
-            trace.frames.append(
-                FrameTrace(
-                    frame_index=index,
-                    tracking=tracking_workload,
-                    mapping=mapping_outcome.workload,
-                    covisibility=None,
-                    num_gaussians=len(self.global_model()),
-                )
-            )
+            self.keyframes.reset()
+            self.perf.count("gaussian_slam.submaps_created")
 
-        result.final_model = self.global_model()
-        if self.config.collect_trace:
-            result.trace = trace
-        return result
+        submap = self.active_submap
+        with self.perf.section("gaussian_slam/mapping"):
+            mapping_outcome = self.mapper.map_frame(
+                submap.model,
+                frame.color,
+                frame.depth,
+                pose,
+                keyframes=self.keyframes.mapping_views(),
+                collect_workload=self.config.collect_trace,
+            )
+        self.perf.count("frames.processed")
+        self.perf.count("mapping.iterations", mapping_outcome.iterations_run)
+        submap.model = mapping_outcome.model
+        self._apply_scale_regularization(submap.model)
+        submap.frame_indices.append(index)
+
+        if self.keyframes.should_add(index, pose):
+            self.keyframes.add(index, frame.color, frame.depth, pose)
+
+        frame_result = FrameResult(
+            frame_index=index,
+            estimated_pose=pose.copy(),
+            tracking_iterations=tracking_iterations,
+            mapping_iterations=mapping_outcome.iterations_run,
+            tracking_loss=tracking_loss,
+            mapping_loss=mapping_outcome.final_loss,
+            num_gaussians=len(self.global_model()),
+        )
+        frame_trace = FrameTrace(
+            frame_index=index,
+            tracking=tracking_workload,
+            mapping=mapping_outcome.workload,
+            covisibility=None,
+            num_gaussians=len(self.global_model()),
+        )
+        return frame_result, frame_trace

@@ -87,6 +87,36 @@ class KeyframeManager:
         """Return the stored keyframes as mapper-compatible view tuples."""
         return [(kf.color, kf.depth, kf.pose) for kf in self.keyframes]
 
+    def state_dict(self) -> dict:
+        """Snapshot the stored keyframes as stacked arrays (checkpointing)."""
+        if not self.keyframes:
+            return {
+                "frame_indices": np.zeros(0, dtype=np.int64),
+                "colors": np.zeros((0, 0, 0, 3)),
+                "depths": np.zeros((0, 0, 0)),
+                "poses": np.zeros((0, 7)),
+            }
+        return {
+            "frame_indices": np.array([kf.frame_index for kf in self.keyframes], dtype=np.int64),
+            "colors": np.stack([np.asarray(kf.color) for kf in self.keyframes]),
+            "depths": np.stack([np.asarray(kf.depth) for kf in self.keyframes]),
+            "poses": np.stack([kf.pose.as_vector() for kf in self.keyframes]),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.keyframes = [
+            Keyframe(
+                frame_index=int(index),
+                color=np.asarray(color).copy(),
+                depth=np.asarray(depth).copy(),
+                pose=Pose.from_vector(pose),
+            )
+            for index, color, depth, pose in zip(
+                state["frame_indices"], state["colors"], state["depths"], state["poses"]
+            )
+        ]
+
     def reset(self) -> None:
         """Drop all stored keyframes."""
         self.keyframes.clear()

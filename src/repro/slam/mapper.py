@@ -103,6 +103,19 @@ class GaussianMapper:
         self.optimizer.reset()
         self._rng = np.random.default_rng(0)
 
+    def state_dict(self) -> dict:
+        """Snapshot the optimizer moments and the sampling RNG."""
+        from repro.slam.session import pack_rng
+
+        return {"optimizer": self.optimizer.state_dict(), "rng": pack_rng(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        from repro.slam.session import restore_rng
+
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._rng = restore_rng(state["rng"])
+
     # ------------------------------------------------------------------
     def map_frame(
         self,

@@ -19,8 +19,9 @@ import numpy as np
 from scipy.ndimage import maximum_filter, uniform_filter
 
 from repro.gaussians.camera import Intrinsics, Pose, rotmat_to_quat
-from repro.perf import NULL_RECORDER, PerfRecorder
-from repro.slam.results import FrameResult, SlamResult
+from repro.perf import PerfRecorder
+from repro.slam.results import FrameResult
+from repro.slam.session import SessionRunner, pack_pose, pack_rng, restore_rng, unpack_pose
 
 __all__ = ["OrbLiteConfig", "OrbLiteSlam", "detect_corners", "extract_descriptors", "match_descriptors"]
 
@@ -124,8 +125,14 @@ def _horn_alignment(points_a: np.ndarray, points_b: np.ndarray) -> tuple[np.ndar
     return rotation, translation
 
 
-class OrbLiteSlam:
-    """Frame-to-frame sparse feature odometry with depth."""
+class OrbLiteSlam(SessionRunner):
+    """Frame-to-frame sparse feature odometry with depth.
+
+    A streaming :class:`SlamSession`: ``feed`` consumes one RGB-D frame
+    and estimates its pose against the previously fed frame.
+    """
+
+    algorithm = "orb-lite"
 
     def __init__(
         self,
@@ -133,10 +140,22 @@ class OrbLiteSlam:
         config: OrbLiteConfig | None = None,
         perf: PerfRecorder | None = None,
     ) -> None:
-        self.intrinsics = intrinsics
         self.config = config or OrbLiteConfig()
-        self.perf = perf or NULL_RECORDER
+        super().__init__(intrinsics, collect_trace=False, perf=perf)
         self._rng = np.random.default_rng(self.config.seed)
+        self._prev_gray: np.ndarray | None = None
+        self._prev_depth: np.ndarray | None = None
+        self._prev_pose: Pose | None = None
+        self._prev_relative = Pose.identity()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all state (including the RANSAC RNG) for a new sequence."""
+        self._rng = np.random.default_rng(self.config.seed)
+        self._prev_gray = None
+        self._prev_depth = None
+        self._prev_pose = None
+        self._prev_relative = Pose.identity()
 
     # ------------------------------------------------------------------
     def _backproject(self, corners: np.ndarray, depth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -205,38 +224,50 @@ class OrbLiteSlam:
         return relative, int(best_inliers.sum())
 
     # ------------------------------------------------------------------
-    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
-        """Run odometry over a sequence and return the estimated trajectory.
+    def _step(self, index: int, frame) -> tuple[FrameResult, None]:
+        """Estimate one frame's pose against the previously fed frame.
 
         The first frame's pose is anchored to the ground truth (standard
         practice: SLAM trajectories are defined up to a global transform).
         """
-        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
-        result = SlamResult(algorithm="orb-lite", sequence=sequence.name)
-        previous_pose = sequence[0].gt_pose.copy()
-        previous_relative = Pose.identity()
-        result.frames.append(
-            FrameResult(frame_index=0, estimated_pose=previous_pose.copy())
-        )
-        for index in range(1, total):
-            prev_frame = sequence[index - 1]
-            cur_frame = sequence[index]
-            relative, inliers = self.estimate_relative_pose(
-                prev_frame.gray, prev_frame.depth, cur_frame.gray, cur_frame.depth
+        if index == 0 or self._prev_gray is None:
+            estimated = frame.gt_pose.copy()
+            frame_result = FrameResult(frame_index=index, estimated_pose=estimated.copy())
+        else:
+            relative, _ = self.estimate_relative_pose(
+                self._prev_gray, self._prev_depth, frame.gray, frame.depth
             )
             self.perf.count("frames.processed")
             if relative is None:
-                relative = previous_relative  # constant velocity fallback
+                relative = self._prev_relative  # constant velocity fallback
                 self.perf.count("orb.fallbacks")
-            estimated = relative.compose(previous_pose)
-            result.frames.append(
-                FrameResult(
-                    frame_index=index,
-                    estimated_pose=estimated.copy(),
-                    tracking_iterations=0,
-                    mapping_iterations=0,
-                )
+            estimated = relative.compose(self._prev_pose)
+            frame_result = FrameResult(
+                frame_index=index,
+                estimated_pose=estimated.copy(),
+                tracking_iterations=0,
+                mapping_iterations=0,
             )
-            previous_relative = relative
-            previous_pose = estimated
-        return result
+            self._prev_relative = relative
+        self._prev_gray = np.asarray(frame.gray)
+        self._prev_depth = np.asarray(frame.depth)
+        self._prev_pose = estimated
+        return frame_result, None
+
+    def _state_payload(self) -> dict:
+        return {
+            "rng": pack_rng(self._rng),
+            "prev_gray": None if self._prev_gray is None else self._prev_gray.copy(),
+            "prev_depth": None if self._prev_depth is None else self._prev_depth.copy(),
+            "prev_pose": pack_pose(self._prev_pose),
+            "prev_relative": pack_pose(self._prev_relative),
+        }
+
+    def _restore_payload(self, payload: dict) -> None:
+        self._rng = restore_rng(payload["rng"])
+        prev_gray = payload["prev_gray"]
+        prev_depth = payload["prev_depth"]
+        self._prev_gray = None if prev_gray is None else np.asarray(prev_gray).copy()
+        self._prev_depth = None if prev_depth is None else np.asarray(prev_depth).copy()
+        self._prev_pose = unpack_pose(payload["prev_pose"])
+        self._prev_relative = unpack_pose(payload["prev_relative"])

@@ -1,0 +1,468 @@
+"""Streaming SLAM sessions: the shared frame-ingestion engine.
+
+The paper's AGS pipeline is inherently *streaming* — CODEC motion vectors
+arrive frame-by-frame and gate the tracking/mapping work — so every SLAM
+system in this repo exposes the same incremental session API instead of
+only a batch ``run(sequence)``:
+
+* :class:`SlamSession` — the protocol: ``feed(frame)`` processes one
+  RGB-D frame and returns its :class:`~repro.slam.results.FrameResult`;
+  ``finalize()`` assembles the :class:`~repro.slam.results.SlamResult`
+  accumulated so far; ``state()`` / ``restore(state)`` checkpoint and
+  resume a session bit-exactly; ``run(sequence)`` is the batch
+  compatibility shim implemented via ``feed``.
+* :class:`SessionRunner` — the shared engine the systems build on.  It
+  owns the frame loop, result/trace accumulation and the frame counter;
+  systems (``SplaTam``, ``AgsSlam``, ``GaussianSlam``, ``OrbLiteSlam``,
+  ``DroidLiteSlam``) only provide the per-frame stage (``_step``), the
+  final map (``_final_model``) and their checkpoint payload
+  (``_state_payload`` / ``_restore_payload``).
+* :class:`SessionState` — an in-memory checkpoint;
+  :func:`save_session_state` / :func:`load_session_state` persist it as
+  a directory with an ``npz`` array bundle plus a JSON manifest.
+
+Checkpoints restore *bit-exactly*: resuming a session mid-sequence (in
+the same or a freshly constructed, identically configured system) yields
+the same trajectory, losses, covisibility decisions and traces as the
+uninterrupted run.  ``tests/test_session.py`` property-tests this for
+the 3DGS systems.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+import pathlib
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.gaussians.camera import Intrinsics, Pose
+from repro.gaussians.model import GaussianModel
+from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.slam.results import FrameResult, SlamResult
+from repro.workloads import (
+    FrameTrace,
+    MappingWorkload,
+    RenderWorkload,
+    SequenceTrace,
+    TrackingWorkload,
+)
+
+__all__ = [
+    "SessionRunner",
+    "SessionState",
+    "SlamSession",
+    "load_session_state",
+    "pack_model",
+    "pack_pose",
+    "pack_rng",
+    "restore_rng",
+    "save_session_state",
+    "unpack_model",
+    "unpack_pose",
+]
+
+CHECKPOINT_MANIFEST = "manifest.json"
+CHECKPOINT_ARRAYS = "state.npz"
+CHECKPOINT_FORMAT = "repro-slam-session"
+CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint packing helpers shared by the systems' payload builders
+# ---------------------------------------------------------------------------
+def pack_pose(pose: Pose | None) -> np.ndarray | None:
+    """Pack a pose (or None) as a flat 7-vector for a checkpoint payload."""
+    return None if pose is None else pose.as_vector()
+
+
+def unpack_pose(vector: np.ndarray | None) -> Pose | None:
+    """Restore a pose packed by :func:`pack_pose` bit-exactly."""
+    return None if vector is None else Pose.from_vector(vector)
+
+
+def pack_model(model: GaussianModel) -> dict:
+    """Pack a Gaussian model as a dict of parameter arrays."""
+    return {name: getattr(model, name).copy() for name in GaussianModel.PARAM_NAMES}
+
+
+def unpack_model(payload: dict) -> GaussianModel:
+    """Restore a Gaussian model packed by :func:`pack_model`."""
+    return GaussianModel(
+        **{name: np.asarray(payload[name]).copy() for name in GaussianModel.PARAM_NAMES}
+    )
+
+
+def pack_rng(rng: np.random.Generator) -> dict:
+    """Snapshot a NumPy generator's bit-generator state (JSON-able)."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`pack_rng` snapshot."""
+    bit_generator = getattr(np.random, str(state["bit_generator"]))()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)
+
+
+# ---------------------------------------------------------------------------
+# Session state
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class SessionState:
+    """A complete checkpoint of a streaming SLAM session.
+
+    Attributes:
+        algorithm: the owning system's algorithm name.
+        sequence: sequence name the session was started with.
+        next_index: index the next fed frame will receive.
+        frames: per-frame results accumulated so far.
+        traces: per-frame workload traces (None when not collected).
+        payload: system-specific state (model, keyframes, optimizer
+            moments, RNG states, reference frames, ...) as a nested dict
+            of arrays / JSON-able scalars.
+    """
+
+    algorithm: str
+    sequence: str
+    next_index: int
+    frames: list[FrameResult]
+    traces: list[FrameTrace] | None
+    payload: dict
+
+
+@runtime_checkable
+class SlamSession(Protocol):
+    """Protocol all streaming SLAM systems implement (duck-typed)."""
+
+    algorithm: str
+
+    def begin(self, sequence_name: str = "stream") -> None: ...
+
+    def feed(self, frame, index: int | None = None) -> FrameResult: ...
+
+    def finalize(self) -> SlamResult: ...
+
+    def state(self) -> SessionState: ...
+
+    def restore(self, state: SessionState) -> None: ...
+
+    def run(self, sequence, num_frames: int | None = None) -> SlamResult: ...
+
+
+class SessionRunner:
+    """Shared streaming engine: frame loop, accumulation, checkpoints.
+
+    Subclasses provide:
+
+    * ``algorithm`` — class attribute naming the system.
+    * ``reset()`` — clear all per-sequence state.
+    * ``_step(index, frame)`` — process one frame, returning
+      ``(FrameResult, FrameTrace | None)``.
+    * ``_final_model()`` — the map attached to the finalized result.
+    * ``_state_payload()`` / ``_restore_payload(payload)`` — the
+      system-specific checkpoint payload.
+
+    and inherit ``begin`` / ``feed`` / ``finalize`` / ``state`` /
+    ``restore`` plus the ``run(sequence)`` compatibility shim.
+    """
+
+    algorithm = "slam"
+
+    def __init__(
+        self,
+        intrinsics: Intrinsics,
+        collect_trace: bool = False,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        self.intrinsics = intrinsics
+        self.collect_trace = collect_trace
+        self.perf = perf or NULL_RECORDER
+        self._session_sequence: str | None = None
+        self._session_result: SlamResult | None = None
+        self._session_trace: SequenceTrace | None = None
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by the systems
+    # ------------------------------------------------------------------
+    def reset(self) -> None:  # pragma: no cover - overridden
+        """Clear all per-sequence state (overridden by systems)."""
+
+    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace | None]:
+        raise NotImplementedError
+
+    def _final_model(self) -> GaussianModel | None:
+        return getattr(self, "model", None)
+
+    def _state_payload(self) -> dict:
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
+
+    def _restore_payload(self, payload: dict) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not support checkpointing")
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+    @property
+    def next_frame_index(self) -> int:
+        """Index the next fed frame will be processed as."""
+        return self._next_index
+
+    def begin(self, sequence_name: str = "stream") -> None:
+        """Start a new streaming session (resets all sequence state)."""
+        self.reset()
+        self._session_sequence = sequence_name
+        self._next_index = 0
+        self._session_result = SlamResult(algorithm=self.algorithm, sequence=sequence_name)
+        self._session_trace = self._new_trace() if self.collect_trace else None
+
+    def _new_trace(self) -> SequenceTrace:
+        return SequenceTrace(
+            sequence=self._session_sequence or "stream",
+            algorithm=self.algorithm,
+            width=self.intrinsics.width,
+            height=self.intrinsics.height,
+        )
+
+    def feed(self, frame, index: int | None = None) -> FrameResult:
+        """Ingest one RGB-D frame and return its :class:`FrameResult`.
+
+        Frames must arrive in order; ``index`` (optional) asserts the
+        caller and the session agree on the position.  The first ``feed``
+        of a fresh system auto-begins a session named ``"stream"``.
+        """
+        if self._session_result is None:
+            self.begin()
+        if index is not None and index != self._next_index:
+            raise ValueError(
+                f"out-of-order frame: got index {index}, expected {self._next_index}"
+            )
+        frame_result, frame_trace = self._step(self._next_index, frame)
+        self._session_result.frames.append(frame_result)
+        if self._session_trace is not None and frame_trace is not None:
+            self._session_trace.frames.append(frame_trace)
+        self._next_index += 1
+        return frame_result
+
+    def finalize(self) -> SlamResult:
+        """Assemble the :class:`SlamResult` accumulated so far.
+
+        Non-destructive: the session stays live and feeding may continue.
+        The returned result is the session's *live* accumulator (further
+        ``feed`` calls keep appending to it), not an immutable snapshot —
+        use :meth:`state` for a frozen point-in-time copy.
+        """
+        if self._session_result is None:
+            raise RuntimeError("no active session: call begin() or feed() first")
+        result = self._session_result
+        result.final_model = self._final_model()
+        if self._session_trace is not None:
+            result.trace = self._session_trace
+        return result
+
+    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
+        """Batch compatibility shim: feed every frame, then finalize."""
+        self.begin(getattr(sequence, "name", "stream"))
+        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
+        for index in range(total):
+            self.feed(sequence[index])
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> SessionState:
+        """Snapshot the session so it can be resumed later (or elsewhere).
+
+        The snapshot owns copies of everything mutable, so continuing the
+        live session does not invalidate it.
+        """
+        if self._session_result is None:
+            raise RuntimeError("no active session: call begin() or feed() first")
+        return SessionState(
+            algorithm=self.algorithm,
+            sequence=self._session_sequence or "stream",
+            next_index=self._next_index,
+            frames=copy.deepcopy(self._session_result.frames),
+            traces=(
+                copy.deepcopy(self._session_trace.frames)
+                if self._session_trace is not None
+                else None
+            ),
+            payload=self._state_payload(),
+        )
+
+    def restore(self, state: SessionState) -> None:
+        """Resume from a checkpoint taken by :meth:`state`.
+
+        The receiving system must be configured identically to the one
+        that produced the checkpoint; subsequent ``feed`` calls then
+        reproduce the uninterrupted run bit-for-bit.
+        """
+        if state.algorithm != self.algorithm:
+            raise ValueError(
+                f"checkpoint belongs to algorithm '{state.algorithm}', "
+                f"this system is '{self.algorithm}'"
+            )
+        self.reset()
+        self._session_sequence = state.sequence
+        self._session_result = SlamResult(algorithm=self.algorithm, sequence=state.sequence)
+        self._session_result.frames.extend(copy.deepcopy(state.frames))
+        if self.collect_trace:
+            self._session_trace = self._new_trace()
+            if state.traces is not None:
+                self._session_trace.frames.extend(copy.deepcopy(state.traces))
+        else:
+            self._session_trace = None
+        self._next_index = state.next_index
+        # No defensive copy of the payload here: every restorer (model /
+        # pose unpackers, component load_state_dicts) copies the arrays it
+        # ingests, so the checkpoint stays reusable without paying for the
+        # full map and keyframe images twice.
+        self._restore_payload(state.payload)
+
+
+# ---------------------------------------------------------------------------
+# Disk checkpoint format: one directory with state.npz + manifest.json
+# ---------------------------------------------------------------------------
+def _externalize(value, path: str, arrays: dict):
+    """Replace arrays in a nested payload with npz references."""
+    if isinstance(value, np.ndarray):
+        arrays[path] = value
+        return {"__array__": path}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _externalize(v, f"{path}/{k}", arrays) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_externalize(v, f"{path}/{i}", arrays) for i, v in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"unsupported checkpoint payload type at {path}: {type(value)!r}")
+
+
+def _internalize(value, arrays):
+    """Inverse of :func:`_externalize`."""
+    if isinstance(value, dict):
+        if set(value) == {"__array__"}:
+            # np.load already materialized a fresh array per npz key, and
+            # every payload restorer copies what it ingests — no extra
+            # defensive copy here.
+            return arrays[value["__array__"]]
+        return {k: _internalize(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_internalize(v, arrays) for v in value]
+    return value
+
+
+def _frame_result_to_payload(frame: FrameResult) -> dict:
+    payload = dataclasses.asdict(frame)
+    payload["estimated_pose"] = frame.estimated_pose.as_vector()
+    return payload
+
+
+def _frame_result_from_payload(payload: dict) -> FrameResult:
+    payload = dict(payload)
+    payload["estimated_pose"] = Pose.from_vector(payload["estimated_pose"])
+    return FrameResult(**payload)
+
+
+def _render_from_payload(payload: dict) -> RenderWorkload:
+    payload = dict(payload)
+    payload["per_tile_gaussians"] = np.asarray(payload["per_tile_gaussians"])
+    return RenderWorkload(**payload)
+
+
+def _frame_trace_from_payload(payload: dict) -> FrameTrace:
+    tracking = payload["tracking"]
+    mapping = payload["mapping"]
+    return FrameTrace(
+        frame_index=payload["frame_index"],
+        tracking=TrackingWorkload(
+            coarse_flops=tracking["coarse_flops"],
+            refine_iterations=tracking["refine_iterations"],
+            refine_renders=[_render_from_payload(r) for r in tracking["refine_renders"]],
+        ),
+        mapping=MappingWorkload(
+            iterations=mapping["iterations"],
+            renders=[_render_from_payload(r) for r in mapping["renders"]],
+            is_keyframe=mapping["is_keyframe"],
+            gaussians_skipped=mapping["gaussians_skipped"],
+            gaussians_considered=mapping["gaussians_considered"],
+            contribution_entries_written=mapping["contribution_entries_written"],
+            contribution_entries_read=mapping["contribution_entries_read"],
+        ),
+        covisibility=payload["covisibility"],
+        codec_sad_evaluations=payload["codec_sad_evaluations"],
+        num_gaussians=payload["num_gaussians"],
+    )
+
+
+def save_session_state(state: SessionState, directory) -> pathlib.Path:
+    """Persist a :class:`SessionState` as ``state.npz`` + ``manifest.json``.
+
+    Arrays (maps, reference frames, optimizer moments, poses) go to the
+    compressed npz bundle; everything scalar — including the manifest
+    tree that stitches the arrays back together — goes to the JSON
+    manifest.  Both halves round-trip bit-exactly (``np.savez`` is
+    lossless and JSON preserves Python floats via ``repr``).
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "algorithm": state.algorithm,
+        "sequence": state.sequence,
+        "next_index": state.next_index,
+        "frames": [
+            _externalize(_frame_result_to_payload(frame), f"frames/{i}", arrays)
+            for i, frame in enumerate(state.frames)
+        ],
+        "traces": (
+            None
+            if state.traces is None
+            else [
+                _externalize(dataclasses.asdict(trace), f"traces/{i}", arrays)
+                for i, trace in enumerate(state.traces)
+            ]
+        ),
+        "payload": _externalize(state.payload, "payload", arrays),
+    }
+    np.savez_compressed(directory / CHECKPOINT_ARRAYS, **arrays)
+    (directory / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest, indent=1))
+    return directory
+
+
+def load_session_state(directory) -> SessionState:
+    """Load a checkpoint written by :func:`save_session_state`."""
+    directory = pathlib.Path(directory)
+    manifest = json.loads((directory / CHECKPOINT_MANIFEST).read_text())
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{directory} is not a session checkpoint")
+    with np.load(directory / CHECKPOINT_ARRAYS, allow_pickle=False) as bundle:
+        arrays = {key: bundle[key] for key in bundle.files}
+    frames = [
+        _frame_result_from_payload(_internalize(entry, arrays))
+        for entry in manifest["frames"]
+    ]
+    traces = (
+        None
+        if manifest["traces"] is None
+        else [
+            _frame_trace_from_payload(_internalize(entry, arrays))
+            for entry in manifest["traces"]
+        ]
+    )
+    return SessionState(
+        algorithm=manifest["algorithm"],
+        sequence=manifest["sequence"],
+        next_index=int(manifest["next_index"]),
+        frames=frames,
+        traces=traces,
+        payload=_internalize(manifest["payload"], arrays),
+    )

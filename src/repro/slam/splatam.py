@@ -25,12 +25,13 @@ import numpy as np
 
 from repro.gaussians.camera import Intrinsics
 from repro.gaussians.model import GaussianModel
-from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.perf import PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
-from repro.slam.results import FrameResult, SlamResult
+from repro.slam.results import FrameResult
+from repro.slam.session import SessionRunner, pack_model, pack_pose, unpack_model, unpack_pose
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
-from repro.workloads import FrameTrace, MappingWorkload, SequenceTrace, TrackingWorkload
+from repro.workloads import FrameTrace, MappingWorkload, TrackingWorkload
 
 __all__ = ["SplaTamConfig", "SplaTam"]
 
@@ -56,8 +57,10 @@ class SplaTamConfig:
     collect_trace: bool = True
 
 
-class SplaTam:
-    """The baseline 3DGS-SLAM pipeline."""
+class SplaTam(SessionRunner):
+    """The baseline 3DGS-SLAM pipeline (a streaming :class:`SlamSession`)."""
+
+    algorithm = "splatam"
 
     def __init__(
         self,
@@ -65,9 +68,8 @@ class SplaTam:
         config: SplaTamConfig | None = None,
         perf: PerfRecorder | None = None,
     ) -> None:
-        self.intrinsics = intrinsics
         self.config = config or SplaTamConfig()
-        self.perf = perf or NULL_RECORDER
+        super().__init__(intrinsics, collect_trace=self.config.collect_trace, perf=perf)
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
@@ -91,37 +93,22 @@ class SplaTam:
         self._pose_history = []
 
     # ------------------------------------------------------------------
-    def run(self, sequence, num_frames: int | None = None) -> SlamResult:
-        """Run the full pipeline over ``sequence``.
+    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
+        return self.process_frame(index, frame)
 
-        Args:
-            sequence: a :class:`repro.datasets.SyntheticSequence` (or any
-                object with the same frame interface).
-            num_frames: optionally limit the number of processed frames.
+    def _state_payload(self) -> dict:
+        return {
+            "model": pack_model(self.model),
+            "keyframes": self.keyframes.state_dict(),
+            "pose_history": [pack_pose(pose) for pose in self._pose_history],
+            "mapper": self.mapper.state_dict(),
+        }
 
-        Returns:
-            The :class:`SlamResult` of the run.
-        """
-        self.reset()
-        total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
-        result = SlamResult(algorithm="splatam", sequence=sequence.name)
-        trace = SequenceTrace(
-            sequence=sequence.name,
-            algorithm="splatam",
-            width=self.intrinsics.width,
-            height=self.intrinsics.height,
-        )
-
-        for index in range(total):
-            frame = sequence[index]
-            frame_result, frame_trace = self.process_frame(index, frame)
-            result.frames.append(frame_result)
-            trace.frames.append(frame_trace)
-
-        result.final_model = self.model
-        if self.config.collect_trace:
-            result.trace = trace
-        return result
+    def _restore_payload(self, payload: dict) -> None:
+        self.model = unpack_model(payload["model"])
+        self.keyframes.load_state_dict(payload["keyframes"])
+        self._pose_history = [unpack_pose(vector) for vector in payload["pose_history"]]
+        self.mapper.load_state_dict(payload["mapper"])
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:

@@ -45,6 +45,30 @@ def test_counters_merge_and_reset():
 # ----------------------------------------------------------------------
 # Timers
 # ----------------------------------------------------------------------
+def test_timers_merge_adds_sections():
+    a = PerfTimers()
+    b = PerfTimers()
+    with a.section("shared"):
+        pass
+    with b.section("shared"):
+        pass
+    with b.section("only_b"):
+        pass
+    a.merge(b)
+    assert a.get("shared").calls == 2
+    assert a.get("only_b").calls == 1
+
+
+def test_recorder_merge_combines_timers_and_counters():
+    a = PerfRecorder()
+    b = PerfRecorder()
+    with b.section("eval/worker"):
+        b.count("frames.processed", 3)
+    a.merge(b)
+    assert a.timers.get("eval/worker").calls == 1
+    assert a.counters.get("frames.processed") == 3
+
+
 def test_timers_record_nested_paths():
     timers = PerfTimers()
     with timers.section("outer"):
