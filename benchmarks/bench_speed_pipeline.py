@@ -1,0 +1,218 @@
+"""Pipelined-executor benchmark: sequential vs two-stage tracking/mapping.
+
+Times the end-to-end tracking+mapping loop (``SessionRunner.run``) in
+both execution modes on two representative workloads:
+
+* ``pipeline.ags``: AGS on the high-covisibility ``desk`` sequence —
+  most frames take the coarse-only tracking path, which is independent
+  of mapping, so the pipelined executor genuinely overlaps the tracking
+  of frame ``t+1`` with the mapping of frame ``t`` (the paper's Fig. 9
+  FC-engine/GPE overlap).
+* ``pipeline.splatam``: the baseline whose tracker renders the map every
+  frame — a stall-dominated reference point that bounds the executor's
+  synchronization overhead.
+
+Every timed pair is also checked for *bit-identical* trajectories — the
+executor's hard invariant — and the results (timings, speedups, CPU
+count, targets) go to the ``BENCH_pipeline.json`` perf-trajectory file
+at the repo root.
+
+The thread-level overlap can only produce a wall-clock win when more
+than one CPU core is available; on a single-core machine the honest
+expectation is parity within a small synchronization overhead, and the
+``targets_met`` entry adapts accordingly (``cpu_count`` is recorded so
+the trajectory stays interpretable across machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed_pipeline.py           # write
+    PYTHONPATH=src python benchmarks/bench_speed_pipeline.py --gate    # guard
+
+``--gate`` refuses to overwrite an existing ``BENCH_pipeline.json`` when
+any gated timing regressed by more than ``--max-regression`` (default
+20 %), exiting non-zero — run it from ``scripts/bench_speed.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_gate import check_gate, gate_table  # noqa: E402
+
+from repro.core import AGSConfig, AgsSlam  # noqa: E402
+from repro.datasets import load_sequence  # noqa: E402
+from repro.slam import SplaTam, SplaTamConfig  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+NUM_FRAMES = 10
+
+# Timings gated by --gate: both modes of the AGS loop (the workload the
+# executor exists for) and the pipelined baseline (its overhead bound).
+GATED_KEYS = [
+    "pipeline.ags.sequential",
+    "pipeline.ags.pipelined",
+    "pipeline.splatam.pipelined",
+]
+
+
+def _scenarios():
+    """(label, sequence, factory) triples; factory(execution) -> system."""
+    desk = load_sequence("desk", num_frames=NUM_FRAMES)
+    for index in range(NUM_FRAMES):
+        desk[index]  # materialize lazy renders outside the timed region
+
+    def make_ags(execution):
+        return AgsSlam(
+            desk.intrinsics,
+            AGSConfig(iter_t=4, baseline_tracking_iterations=20),
+            mapping_iterations=5,
+            execution=execution,
+        )
+
+    def make_splatam(execution):
+        return SplaTam(
+            desk.intrinsics,
+            SplaTamConfig(tracking_iterations=10, mapping_iterations=5),
+            execution=execution,
+        )
+
+    return [("ags", desk, make_ags), ("splatam", desk, make_splatam)]
+
+
+def _best_run(factory, execution, sequence, repeats: int):
+    """Best-of-``repeats`` wall-clock run() seconds plus the last result."""
+    result = factory(execution).run(sequence, num_frames=NUM_FRAMES)  # warmup
+    best = np.inf
+    for _ in range(repeats):
+        system = factory(execution)
+        start = time.perf_counter()
+        result = system.run(sequence, num_frames=NUM_FRAMES)
+        best = min(best, time.perf_counter() - start)
+    return float(best), result
+
+
+def _trajectories_identical(a, b) -> bool:
+    if len(a.frames) != len(b.frames):
+        return False
+    for fa, fb in zip(a.frames, b.frames):
+        if not np.array_equal(fa.estimated_pose.quat, fb.estimated_pose.quat):
+            return False
+        if not np.array_equal(fa.estimated_pose.trans, fb.estimated_pose.trans):
+            return False
+        if (fa.tracking_loss, fa.mapping_loss, fa.is_keyframe, fa.covisibility) != (
+            fb.tracking_loss,
+            fb.mapping_loss,
+            fb.is_keyframe,
+            fb.covisibility,
+        ):
+            return False
+    return True
+
+
+def build_results(repeats: int) -> dict:
+    timings: dict[str, float] = {}
+    identical: dict[str, bool] = {}
+    coarse_fraction: dict[str, float] = {}
+    for label, sequence, factory in _scenarios():
+        sequential_s, sequential_result = _best_run(factory, "sequential", sequence, repeats)
+        pipelined_s, pipelined_result = _best_run(factory, "pipelined", sequence, repeats)
+        timings[f"pipeline.{label}.sequential"] = sequential_s
+        timings[f"pipeline.{label}.pipelined"] = pipelined_s
+        identical[label] = _trajectories_identical(sequential_result, pipelined_result)
+        coarse_fraction[label] = sequential_result.coarse_only_fraction
+
+    speedups = {
+        label: timings[f"pipeline.{label}.sequential"] / timings[f"pipeline.{label}.pipelined"]
+        for label in identical
+    }
+    cpu_count = os.cpu_count() or 1
+    if cpu_count > 1:
+        overlap_target = "pipeline.ags speedup >= 1.05x (multi-core overlap)"
+        overlap_met = speedups["ags"] >= 1.05
+    else:
+        overlap_target = "pipeline.ags overhead <= 15% (single core: no overlap possible)"
+        overlap_met = speedups["ags"] >= 1.0 / 1.15
+    targets = {
+        "pipelined bit-identical to sequential (all scenarios)": all(identical.values()),
+        overlap_target: overlap_met,
+    }
+    return {
+        "benchmark": "pipeline",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "num_frames": NUM_FRAMES,
+            "repeats": repeats,
+            "cpu_count": cpu_count,
+        },
+        "timings_seconds": {key: timings[key] for key in sorted(timings)},
+        "speedups": {key: round(value, 3) for key, value in sorted(speedups.items())},
+        "coarse_only_fraction": {
+            key: round(value, 3) for key, value in sorted(coarse_fraction.items())
+        },
+        "bit_identical": identical,
+        "targets_met": targets,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (and keep the old file) on a hot-path regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown per gated timing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    results = build_results(args.repeats)
+    print(f"pipeline benchmark ({args.repeats} repeats, best-of, {NUM_FRAMES} frames):")
+    for key, value in results["timings_seconds"].items():
+        print(f"  {key:<38}{value * 1e3:>10.2f} ms")
+    print("pipelined vs sequential speedups:")
+    for key, value in results["speedups"].items():
+        print(f"  {key:<38}{value:>9.2f}x")
+    for target, met in results["targets_met"].items():
+        print(f"  target {target}: {'MET' if met else 'MISSED'}")
+
+    if not results["targets_met"]["pipelined bit-identical to sequential (all scenarios)"]:
+        print("\nBIT-IDENTITY VIOLATED — refusing to write results", file=sys.stderr)
+        return 1
+
+    if args.gate and args.output.exists():
+        previous = json.loads(args.output.read_text())
+        failures = check_gate(previous, results, args.max_regression, GATED_KEYS)
+        print("\ngated timings vs previous BENCH_pipeline.json:")
+        print(gate_table(previous, results, GATED_KEYS))
+        if failures:
+            print("\nPERF GATE FAILED — keeping previous BENCH_pipeline.json:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("perf gate PASSED")
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

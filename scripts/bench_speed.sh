@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Hot-path perf gate: re-measure the motion-estimation, rasterizer and
-# rasterizer-backward micro-benchmarks and update BENCH_hotpaths.json /
-# BENCH_backward.json at the repo root.
+# Hot-path perf gate: re-measure the motion-estimation, rasterizer,
+# rasterizer-backward and pipelined-executor benchmarks and update
+# BENCH_hotpaths.json / BENCH_backward.json / BENCH_pipeline.json at the
+# repo root.
 #
 # If a gated hot-path timing regressed by more than 20% against a
 # committed BENCH_*.json, the script exits non-zero and leaves that
 # previous file untouched — wire it into CI so perf regressions fail PRs.
 #
-# Usage: scripts/bench_speed.sh [extra bench args, applied to both]
+# Usage: scripts/bench_speed.sh [extra bench args, applied to all]
 #   e.g. scripts/bench_speed.sh --max-regression 0.1
 #        scripts/bench_speed.sh --repeats 9
 
@@ -18,3 +19,5 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_hotpaths.py --gate "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_backward.py --gate "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_speed_pipeline.py --gate "$@"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 test suite plus the hot-path perf gate.
+# CI entry point: repo hygiene, the tier-1 test suite and the hot-path
+# perf gate (which includes the pipelined-executor bench).
 #
-#   scripts/ci.sh          # tier-1 tests + scripts/bench_speed.sh
+#   scripts/ci.sh          # hygiene + tier-1 tests + scripts/bench_speed.sh
 #   scripts/ci.sh --slow   # additionally run the weekly `pytest -m slow`
 #                          # lane (long randomized equivalence sweeps)
 #
@@ -19,6 +20,16 @@ for arg in "$@"; do
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+echo "== repo hygiene =="
+TRACKED_BYTECODE=$(git ls-files | grep -E '(^|/)__pycache__/|\.pyc$' || true)
+if [[ -n "$TRACKED_BYTECODE" ]]; then
+    echo "ERROR: compiled python artifacts are tracked in the index:" >&2
+    echo "$TRACKED_BYTECODE" | head -20 >&2
+    echo "(git rm -r --cached them; .gitignore should keep them out)" >&2
+    exit 1
+fi
+echo "no tracked __pycache__/*.pyc files"
 
 echo "== tier-1 test suite =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q

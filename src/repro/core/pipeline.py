@@ -7,9 +7,16 @@ frame traces the hardware simulator consumes.
 
 Execution model.  As in Fig. 9 of the paper, AGS's coarse pose estimation
 does not depend on the Gaussians being updated by mapping, so on hardware
-the tracking of frame ``t+1`` overlaps the mapping of frame ``t``.  The
-Python implementation executes sequentially (the result is identical); the
-overlap is accounted for by the hardware timing model, which receives both
+the tracking of frame ``t+1`` overlaps the mapping of frame ``t``.  With
+``AgsSlam(..., execution="pipelined")`` the software pipeline reproduces
+that overlap: the ``_track`` sub-stage (CODEC covisibility against the
+previous frame + movement-adaptive tracking) runs concurrently with the
+previous frame's ``_map`` sub-stage (keyframe covisibility, contribution-
+aware mapping, keyframe registration), and only the fine-grained
+refinement — taken on low-covisibility frames — stalls on the map.  The
+default sequential execution runs the same computations in the same
+dependency order, so both modes are bit-identical; the overlap is also
+accounted for by the hardware timing model, which receives both
 workloads in the trace.
 """
 
@@ -36,6 +43,19 @@ from repro.workloads import FrameTrace, TrackingWorkload
 __all__ = ["AgsSlam"]
 
 
+@dataclasses.dataclass
+class _AgsTrackedFrame:
+    """AGS ``_track`` → ``_map`` handoff (pose + covisibility evidence)."""
+
+    pose: object
+    used_coarse_only: bool
+    tracking_loss: float
+    refine_iterations: int
+    workload: TrackingWorkload
+    tracking_cov: float | None
+    tracking_sad_evaluations: int
+
+
 class AgsSlam(SessionRunner):
     """AGS-accelerated 3DGS-SLAM (a streaming :class:`SlamSession`)."""
 
@@ -53,9 +73,12 @@ class AgsSlam(SessionRunner):
         anchor_first_pose_to_gt: bool = True,
         collect_trace: bool = True,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
     ) -> None:
         self.config = config or AGSConfig()
-        super().__init__(intrinsics, collect_trace=collect_trace, perf=perf)
+        super().__init__(
+            intrinsics, collect_trace=collect_trace, perf=perf, execution=execution
+        )
         covisibility_config = covisibility_config or CovisibilityConfig(
             sad_scale=self.config.covisibility_sad_scale
         )
@@ -86,9 +109,6 @@ class AgsSlam(SessionRunner):
         self._prev_pose = None
 
     # ------------------------------------------------------------------
-    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        return self.process_frame(index, frame)
-
     def _state_payload(self) -> dict:
         prev_frame = self._prev_frame
         return {
@@ -135,20 +155,32 @@ class AgsSlam(SessionRunner):
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        """Process one frame through FC detection, tracking and mapping."""
+        """Process one frame sequentially through FC detection, tracking, mapping."""
+        return self._step(index, frame)
+
+    def _mapped_model(self) -> GaussianModel:
+        """The Gaussian map, gated on all pending map stages (stalls)."""
+        self._await_mapped()
+        return self.model
+
+    def _track(self, index: int, frame) -> _AgsTrackedFrame:
+        """Tracking sub-stage: frame covisibility + movement-adaptive pose.
+
+        Everything here is independent of the previous frame's mapping —
+        CODEC covisibility compares gray frames and the coarse tracker
+        aligns against the previous observation — except the fine-grained
+        refinement, which renders the map.  The map is handed to the
+        tracker *lazily* (:meth:`_mapped_model`), so only the refinement
+        of low-covisibility frames stalls the pipeline, exactly like the
+        AGS hardware's FC-engine/GPE overlap.
+        """
         gray = frame.gray
         perf = self.perf
 
         # -------- Step 1: CODEC-assisted frame covisibility detection ----
         with perf.section("ags/covisibility"):
             tracking_measurement = self.covisibility.observe(index, gray)
-            mapping_measurement = self.covisibility.compare_with_keyframe(gray)
         tracking_cov = tracking_measurement.value if tracking_measurement else None
-        mapping_cov = mapping_measurement.value if mapping_measurement else None
-        sad_evaluations = (tracking_measurement.sad_evaluations if tracking_measurement else 0) + (
-            mapping_measurement.sad_evaluations if mapping_measurement else 0
-        )
-        perf.count("codec.sad_evaluations", sad_evaluations)
 
         # -------- Step 2: movement-adaptive tracking ----------------------
         if index == 0 or self._prev_frame is None:
@@ -164,7 +196,7 @@ class AgsSlam(SessionRunner):
         else:
             with perf.section("ags/tracking"):
                 outcome = self.tracking.track(
-                    self.model,
+                    self._mapped_model,
                     self._prev_frame.gray,
                     self._prev_frame.depth,
                     self._prev_pose,
@@ -180,6 +212,40 @@ class AgsSlam(SessionRunner):
             refine_iterations = outcome.refine_iterations
             tracking_workload = outcome.workload
         perf.count("tracking.refine_iterations", refine_iterations)
+
+        self._prev_frame = frame
+        self._prev_pose = pose.copy()
+        return _AgsTrackedFrame(
+            pose=pose,
+            used_coarse_only=used_coarse_only,
+            tracking_loss=tracking_loss,
+            refine_iterations=refine_iterations,
+            workload=tracking_workload,
+            tracking_cov=tracking_cov,
+            tracking_sad_evaluations=(
+                tracking_measurement.sad_evaluations if tracking_measurement else 0
+            ),
+        )
+
+    def _map(self, index: int, frame, tracked: _AgsTrackedFrame) -> tuple[FrameResult, FrameTrace]:
+        """Mapping sub-stage: keyframe covisibility + contribution-aware mapping.
+
+        The keyframe comparison lives here (not in ``_track``) because
+        its reference is registered by the mapping stage itself, making
+        it mapping-owned state.
+        """
+        gray = frame.gray
+        perf = self.perf
+        pose = tracked.pose
+        tracking_cov = tracked.tracking_cov
+
+        with perf.section("ags/covisibility"):
+            mapping_measurement = self.covisibility.compare_with_keyframe(gray)
+        mapping_cov = mapping_measurement.value if mapping_measurement else None
+        sad_evaluations = tracked.tracking_sad_evaluations + (
+            mapping_measurement.sad_evaluations if mapping_measurement else 0
+        )
+        perf.count("codec.sad_evaluations", sad_evaluations)
 
         # -------- Step 3: Gaussian contribution-aware mapping -------------
         with perf.section("ags/mapping"):
@@ -201,17 +267,14 @@ class AgsSlam(SessionRunner):
             self.covisibility.register_keyframe(index, gray)
             self.keyframes.add(index, frame.color, frame.depth, pose)
 
-        self._prev_frame = frame
-        self._prev_pose = pose.copy()
-
         frame_result = FrameResult(
             frame_index=index,
             estimated_pose=pose.copy(),
-            tracking_iterations=refine_iterations,
+            tracking_iterations=tracked.refine_iterations,
             mapping_iterations=mapping_outcome.mapping.iterations_run,
-            tracking_loss=tracking_loss,
+            tracking_loss=tracked.tracking_loss,
             mapping_loss=mapping_outcome.mapping.final_loss,
-            used_coarse_only=used_coarse_only,
+            used_coarse_only=tracked.used_coarse_only,
             is_keyframe=mapping_outcome.is_keyframe,
             covisibility=tracking_cov,
             num_gaussians=len(self.model),
@@ -219,7 +282,7 @@ class AgsSlam(SessionRunner):
         )
         frame_trace = FrameTrace(
             frame_index=index,
-            tracking=tracking_workload,
+            tracking=tracked.workload,
             mapping=mapping_outcome.mapping.workload,
             covisibility=tracking_cov,
             codec_sad_evaluations=sad_evaluations,

@@ -62,6 +62,10 @@ class EvalSettings:
     # Worker threads the experiment functions hand to SlamService.run_many;
     # 1 keeps everything on the caller's thread.
     workers: int = 1
+    # Session executor mode for every run of the experiment grid:
+    # "sequential" or "pipelined" (intra-run tracking/mapping overlap,
+    # bit-identical results — see repro.slam.session).
+    execution: str = "sequential"
 
 
 DEFAULT_SETTINGS = EvalSettings()
@@ -78,6 +82,7 @@ def run_slam(
     thresh_n: int | None = None,
     enable_mat: bool = True,
     enable_gcm: bool = True,
+    execution: str = DEFAULT_SETTINGS.execution,
 ):
     """Run (and cache) one SLAM configuration on one sequence.
 
@@ -98,6 +103,8 @@ def run_slam(
         iter_t: AGS refinement iterations.
         thresh_m / thresh_n: AGS mapping thresholds.
         enable_mat / enable_gcm: AGS ablation switches.
+        execution: session executor mode, ``"sequential"`` (default) or
+            ``"pipelined"`` (bit-identical intra-run overlap).
 
     Returns:
         The :class:`repro.slam.results.SlamResult` of the run.
@@ -113,6 +120,7 @@ def run_slam(
         thresh_n=thresh_n,
         enable_mat=enable_mat,
         enable_gcm=enable_gcm,
+        execution=execution,
     )
     return default_service().run(key)
 

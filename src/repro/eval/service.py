@@ -35,7 +35,12 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.perf import PerfRecorder, global_recorder
 from repro.slam.results import SlamResult
-from repro.slam.session import SessionState, load_session_state, save_session_state
+from repro.slam.session import (
+    EXECUTION_MODES,
+    SessionState,
+    load_session_state,
+    save_session_state,
+)
 
 __all__ = [
     "KNOWN_ALGORITHMS",
@@ -79,11 +84,18 @@ class RunKey:
     thresh_n: int | None = None
     enable_mat: bool = True
     enable_gcm: bool = True
+    # Session executor mode: "sequential" or "pipelined" (bit-identical
+    # results; pipelined overlaps tracking t+1 with mapping t).
+    execution: str = "sequential"
 
     def __post_init__(self) -> None:
         if self.algorithm not in KNOWN_ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm '{self.algorithm}'; expected one of {KNOWN_ALGORITHMS}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode '{self.execution}'; expected one of {EXECUTION_MODES}"
             )
 
     @classmethod
@@ -91,10 +103,12 @@ class RunKey:
         """Build the key for one run of an :class:`EvalSettings` experiment.
 
         ``settings.num_frames`` sizes the run (the quantity experiments
-        previously re-derived at every call site); iteration counts keep
-        the ``run_slam`` defaults unless overridden, matching the
-        historical experiment configuration.
+        previously re-derived at every call site) and
+        ``settings.execution`` selects the session executor mode;
+        iteration counts keep the ``run_slam`` defaults unless
+        overridden, matching the historical experiment configuration.
         """
+        overrides.setdefault("execution", getattr(settings, "execution", "sequential"))
         return cls(algorithm=algorithm, sequence=sequence, num_frames=settings.num_frames, **overrides)
 
     def slug(self) -> str:
@@ -111,6 +125,8 @@ class RunKey:
             f"mat{int(self.enable_mat)}",
             f"gcm{int(self.enable_gcm)}",
         ]
+        if self.execution != "sequential":
+            parts.append(f"ex-{self.execution}")
         return "-".join(parts).replace("/", "_")
 
 
@@ -140,6 +156,7 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                     mapping_iterations=key.mapping_iterations,
                 ),
                 perf=perf,
+                execution=key.execution,
             )
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm == "gaussian-slam":
@@ -150,13 +167,14 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                     mapping_iterations=key.mapping_iterations,
                 ),
                 perf=perf,
+                execution=key.execution,
             )
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm == "orb":
-            system = OrbLiteSlam(sequence.intrinsics, perf=perf)
+            system = OrbLiteSlam(sequence.intrinsics, perf=perf, execution=key.execution)
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm == "droid":
-            system = DroidLiteSlam(sequence.intrinsics, perf=perf)
+            system = DroidLiteSlam(sequence.intrinsics, perf=perf, execution=key.execution)
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm in ("ags", "ags-gaussian-slam"):
             config = AGSConfig(
@@ -168,7 +186,11 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 enable_contribution_mapping=key.enable_gcm,
             )
             system = AgsSlam(
-                sequence.intrinsics, config, mapping_iterations=key.mapping_iterations, perf=perf
+                sequence.intrinsics,
+                config,
+                mapping_iterations=key.mapping_iterations,
+                perf=perf,
+                execution=key.execution,
             )
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm == "droid-splatam":
@@ -182,7 +204,11 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 enable_contribution_mapping=False,
             )
             system = AgsSlam(
-                sequence.intrinsics, config, mapping_iterations=key.mapping_iterations, perf=perf
+                sequence.intrinsics,
+                config,
+                mapping_iterations=key.mapping_iterations,
+                perf=perf,
+                execution=key.execution,
             )
             result = system.run(sequence, num_frames=key.num_frames)
             result.algorithm = "droid-splatam"
@@ -201,7 +227,12 @@ class SlamService:
         checkpoint_dir: optional directory for parked session
             checkpoints (:meth:`checkpoint` / :meth:`resume`).
         perf: recorder uncached runs record into (default: the
-            process-wide :func:`repro.perf.global_recorder`).
+            process-wide :func:`repro.perf.global_recorder`).  Several
+            service instances may safely share one recorder — e.g. the
+            global default alongside direct ``run_slam`` calls —
+            because :meth:`PerfRecorder.merge` serializes on the
+            receiving recorder, so concurrent merges from different
+            services cannot interleave and drop updates.
     """
 
     def __init__(

@@ -25,6 +25,8 @@ Conventions: timer paths are ``<system>/<stage>[/<substage>]`` (e.g.
 
 from __future__ import annotations
 
+import threading as _threading
+
 from repro.perf.counters import PerfCounters
 from repro.perf.report import build_report, format_report, write_json_report
 from repro.perf.timer import NullTimers, PerfTimers, SectionStats
@@ -61,12 +63,13 @@ class PerfRecorder:
     so hot paths can call them unconditionally.
     """
 
-    __slots__ = ("timers", "counters", "enabled")
+    __slots__ = ("timers", "counters", "enabled", "_merge_lock")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.timers = PerfTimers() if enabled else NullTimers()
         self.counters = PerfCounters() if enabled else _NullCounters()
+        self._merge_lock = _threading.Lock()
 
     def section(self, name: str):
         """Time a code block (see :meth:`PerfTimers.section`)."""
@@ -87,9 +90,15 @@ class PerfRecorder:
         Used by :class:`repro.eval.service.SlamService` to combine the
         per-session recorders of concurrent workers into the process-wide
         recorder without sharing (and racing on) one section stack.
+
+        Merges are serialized on the *receiving* recorder, so several
+        service instances (or a service plus direct ``run_slam`` calls)
+        that all target the shared :func:`global_recorder` cannot
+        interleave their merges and drop updates.
         """
-        self.timers.merge(other.timers)
-        self.counters.merge(other.counters)
+        with self._merge_lock:
+            self.timers.merge(other.timers)
+            self.counters.merge(other.counters)
 
     def as_dict(self) -> dict:
         """Snapshot both halves (same structure as ``build_report``)."""

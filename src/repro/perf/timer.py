@@ -5,11 +5,17 @@ sections are recorded under slash-joined paths (``"ags/tracking/render"``)
 so a report can show both a flat table and the call-tree structure.
 :class:`NullTimers` is a do-nothing stand-in with the same interface, so
 hot paths can take a timer object unconditionally.
+
+Timers are safe to use from several threads at once: the section stack is
+per-thread (each thread nests its own call tree) and the accumulated
+statistics are guarded by a lock, so the pipelined session executor's
+track and map stages can record into one recorder concurrently.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 
 __all__ = ["SectionStats", "PerfTimers", "NullTimers"]
@@ -67,43 +73,72 @@ class PerfTimers:
 
     def __init__(self) -> None:
         self._stats: dict[str, SectionStats] = {}
-        self._stack: list[str] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        """The calling thread's active-section stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextlib.contextmanager
     def section(self, name: str):
-        """Time a code block under ``name`` (nested under active sections)."""
-        path = "/".join(self._stack + [name])
-        self._stack.append(name)
+        """Time a code block under ``name`` (nested under active sections).
+
+        Nesting is tracked per thread, so concurrent stages each record
+        their own call tree without corrupting the other's paths.
+        """
+        stack = self._stack()
+        path = "/".join(stack + [name])
+        stack.append(name)
         start = time.perf_counter()
         try:
             yield self
         finally:
             elapsed = time.perf_counter() - start
-            self._stack.pop()
-            stats = self._stats.get(path)
-            if stats is None:
-                stats = self._stats[path] = SectionStats()
-            stats.record(elapsed)
+            stack.pop()
+            with self._lock:
+                stats = self._stats.get(path)
+                if stats is None:
+                    stats = self._stats[path] = SectionStats()
+                stats.record(elapsed)
 
     def get(self, path: str) -> SectionStats | None:
         """Stats of a slash-joined section path (None if never entered)."""
-        return self._stats.get(path)
+        with self._lock:
+            return self._stats.get(path)
 
     def merge(self, other: "PerfTimers") -> None:
         """Fold every section of ``other`` into this instance (additively)."""
-        for path, stats in other._stats.items():
-            mine = self._stats.get(path)
-            if mine is None:
-                mine = self._stats[path] = SectionStats()
-            mine.merge(stats)
+        # Copy the field *values* (not the live SectionStats references)
+        # under the source lock, so merging a recorder that is still
+        # recording can never fold a torn total/calls/max triple.
+        with other._lock:
+            snapshot = {
+                path: (stats.total_seconds, stats.calls, stats.max_seconds)
+                for path, stats in other._stats.items()
+            }
+        with self._lock:
+            for path, (total_seconds, calls, max_seconds) in snapshot.items():
+                mine = self._stats.get(path)
+                if mine is None:
+                    mine = self._stats[path] = SectionStats()
+                mine.total_seconds += total_seconds
+                mine.calls += calls
+                if max_seconds > mine.max_seconds:
+                    mine.max_seconds = max_seconds
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Snapshot ``{path: {total_seconds, calls, mean, max}}``, sorted."""
-        return {path: stats.as_dict() for path, stats in sorted(self._stats.items())}
+        with self._lock:
+            return {path: stats.as_dict() for path, stats in sorted(self._stats.items())}
 
     def reset(self) -> None:
-        """Drop all recorded sections (active stack is preserved)."""
-        self._stats.clear()
+        """Drop all recorded sections (active stacks are preserved)."""
+        with self._lock:
+            self._stats.clear()
 
     def __len__(self) -> int:
         return len(self._stats)

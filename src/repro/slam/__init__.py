@@ -9,9 +9,11 @@ and compared against.
 
 from repro.slam.results import FrameResult, SlamResult
 from repro.slam.session import (
+    EXECUTION_MODES,
     SessionRunner,
     SessionState,
     SlamSession,
+    TrackedFrame,
     load_session_state,
     save_session_state,
 )
@@ -26,6 +28,7 @@ from repro.slam.gaussian_slam import GaussianSlam, GaussianSlamConfig
 from repro.slam.quality import evaluate_mapping_quality
 
 __all__ = [
+    "EXECUTION_MODES",
     "DroidLiteConfig",
     "DroidLiteSlam",
     "DroidLiteTracker",
@@ -46,6 +49,7 @@ __all__ = [
     "SlamSession",
     "SplaTam",
     "SplaTamConfig",
+    "TrackedFrame",
     "TrackerConfig",
     "TrackingOutcome",
     "align_trajectories",

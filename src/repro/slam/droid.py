@@ -392,9 +392,10 @@ class DroidLiteSlam(SessionRunner):
         intrinsics: Intrinsics,
         config: DroidLiteConfig | None = None,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
     ) -> None:
         self.config = config or DroidLiteConfig()
-        super().__init__(intrinsics, collect_trace=False, perf=perf)
+        super().__init__(intrinsics, collect_trace=False, perf=perf, execution=execution)
         self.tracker = DroidLiteTracker(intrinsics, self.config)
         self._prev_gray: np.ndarray | None = None
         self._prev_depth: np.ndarray | None = None
@@ -410,7 +411,12 @@ class DroidLiteSlam(SessionRunner):
         self._last_relative = None
 
     # ------------------------------------------------------------------
-    def _step(self, index: int, frame) -> tuple[FrameResult, None]:
+    def _track(self, index: int, frame) -> FrameResult:
+        """Coarse-track one frame against the previous observation.
+
+        Map-free odometry: the track/map split is degenerate (everything
+        happens here; :meth:`_map` passes the result through).
+        """
         if index == 0 or self._prev_gray is None:
             pose = frame.gt_pose.copy()
         else:
@@ -429,7 +435,11 @@ class DroidLiteSlam(SessionRunner):
         self._prev_gray = np.asarray(frame.gray)
         self._prev_depth = np.asarray(frame.depth)
         self._prev_pose = pose
-        return FrameResult(frame_index=index, estimated_pose=pose.copy()), None
+        return FrameResult(frame_index=index, estimated_pose=pose.copy())
+
+    def _map(self, index: int, frame, tracked: FrameResult) -> tuple[FrameResult, None]:
+        """Degenerate mapping sub-stage: the coarse tracker builds no map."""
+        return tracked, None
 
     def _state_payload(self) -> dict:
         return {

@@ -22,7 +22,14 @@ from repro.perf import PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult
-from repro.slam.session import SessionRunner, pack_model, pack_pose, unpack_model, unpack_pose
+from repro.slam.session import (
+    SessionRunner,
+    TrackedFrame,
+    pack_model,
+    pack_pose,
+    unpack_model,
+    unpack_pose,
+)
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
 from repro.workloads import FrameTrace, TrackingWorkload
 
@@ -66,9 +73,15 @@ class GaussianSlam(SessionRunner):
         intrinsics: Intrinsics,
         config: GaussianSlamConfig | None = None,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
     ) -> None:
         self.config = config or GaussianSlamConfig()
-        super().__init__(intrinsics, collect_trace=self.config.collect_trace, perf=perf)
+        super().__init__(
+            intrinsics,
+            collect_trace=self.config.collect_trace,
+            perf=perf,
+            execution=execution,
+        )
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
@@ -159,18 +172,24 @@ class GaussianSlam(SessionRunner):
         self.mapper.load_state_dict(payload["mapper"])
 
     # ------------------------------------------------------------------
-    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        return self.process_frame(index, frame)
-
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        """Process one frame: track against the active sub-map, then map."""
-        # ---------------- Tracking against the active sub-map ------------
+        """Process one frame sequentially: track, then map."""
+        return self._step(index, frame)
+
+    def _track(self, index: int, frame) -> TrackedFrame:
+        """Tracking sub-stage: optimize the pose against the active sub-map.
+
+        The tracker renders the active sub-map — mapping-owned state — so
+        ``_await_mapped`` gates the read (full dependency stall under
+        pipelined execution, as for SplaTAM).
+        """
         if index == 0:
             pose = frame.gt_pose.copy() if self.config.anchor_first_pose_to_gt else Pose.identity()
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
             tracking_loss, tracking_iterations = 0.0, 0
         else:
             initial = self.tracker.initial_guess(self._pose_history)
+            self._await_mapped()
             active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
             with self.perf.section("gaussian_slam/tracking"):
                 outcome = self.tracker.track(
@@ -183,8 +202,16 @@ class GaussianSlam(SessionRunner):
             tracking_iterations = outcome.iterations_run
         self._pose_history.append(pose.copy())
         self.perf.count("tracking.refine_iterations", tracking_iterations)
+        return TrackedFrame(
+            pose=pose,
+            workload=tracking_workload,
+            loss=tracking_loss,
+            iterations=tracking_iterations,
+        )
 
-        # ---------------- Sub-map management -----------------------------
+    def _map(self, index: int, frame, tracked: TrackedFrame) -> tuple[FrameResult, FrameTrace]:
+        """Mapping sub-stage: sub-map management, mapping, keyframes."""
+        pose = tracked.pose
         if self._needs_new_submap(pose):
             if self.active_submap is not None:
                 self.active_submap.frozen = True
@@ -216,15 +243,15 @@ class GaussianSlam(SessionRunner):
         frame_result = FrameResult(
             frame_index=index,
             estimated_pose=pose.copy(),
-            tracking_iterations=tracking_iterations,
+            tracking_iterations=tracked.iterations,
             mapping_iterations=mapping_outcome.iterations_run,
-            tracking_loss=tracking_loss,
+            tracking_loss=tracked.loss,
             mapping_loss=mapping_outcome.final_loss,
             num_gaussians=len(self.global_model()),
         )
         frame_trace = FrameTrace(
             frame_index=index,
-            tracking=tracking_workload,
+            tracking=tracked.workload,
             mapping=mapping_outcome.workload,
             covisibility=None,
             num_gaussians=len(self.global_model()),

@@ -139,9 +139,10 @@ class OrbLiteSlam(SessionRunner):
         intrinsics: Intrinsics,
         config: OrbLiteConfig | None = None,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
     ) -> None:
         self.config = config or OrbLiteConfig()
-        super().__init__(intrinsics, collect_trace=False, perf=perf)
+        super().__init__(intrinsics, collect_trace=False, perf=perf, execution=execution)
         self._rng = np.random.default_rng(self.config.seed)
         self._prev_gray: np.ndarray | None = None
         self._prev_depth: np.ndarray | None = None
@@ -224,11 +225,14 @@ class OrbLiteSlam(SessionRunner):
         return relative, int(best_inliers.sum())
 
     # ------------------------------------------------------------------
-    def _step(self, index: int, frame) -> tuple[FrameResult, None]:
+    def _track(self, index: int, frame) -> FrameResult:
         """Estimate one frame's pose against the previously fed frame.
 
         The first frame's pose is anchored to the ground truth (standard
         practice: SLAM trajectories are defined up to a global transform).
+        Pure odometry has no mapping stage, so the track/map split is
+        degenerate: everything happens here and :meth:`_map` passes the
+        result through.
         """
         if index == 0 or self._prev_gray is None:
             estimated = frame.gt_pose.copy()
@@ -252,7 +256,11 @@ class OrbLiteSlam(SessionRunner):
         self._prev_gray = np.asarray(frame.gray)
         self._prev_depth = np.asarray(frame.depth)
         self._prev_pose = estimated
-        return frame_result, None
+        return frame_result
+
+    def _map(self, index: int, frame, tracked: FrameResult) -> tuple[FrameResult, None]:
+        """Degenerate mapping sub-stage: odometry produces no map."""
+        return tracked, None
 
     def _state_payload(self) -> dict:
         return {

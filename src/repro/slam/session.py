@@ -14,9 +14,9 @@ only a batch ``run(sequence)``:
 * :class:`SessionRunner` — the shared engine the systems build on.  It
   owns the frame loop, result/trace accumulation and the frame counter;
   systems (``SplaTam``, ``AgsSlam``, ``GaussianSlam``, ``OrbLiteSlam``,
-  ``DroidLiteSlam``) only provide the per-frame stage (``_step``), the
-  final map (``_final_model``) and their checkpoint payload
-  (``_state_payload`` / ``_restore_payload``).
+  ``DroidLiteSlam``) only provide the per-frame sub-stages (``_track`` /
+  ``_map``), the final map (``_final_model``) and their checkpoint
+  payload (``_state_payload`` / ``_restore_payload``).
 * :class:`SessionState` — an in-memory checkpoint;
   :func:`save_session_state` / :func:`load_session_state` persist it as
   a directory with an ``npz`` array bundle plus a JSON manifest.
@@ -25,7 +25,23 @@ Checkpoints restore *bit-exactly*: resuming a session mid-sequence (in
 the same or a freshly constructed, identically configured system) yields
 the same trajectory, losses, covisibility decisions and traces as the
 uninterrupted run.  ``tests/test_session.py`` property-tests this for
-the 3DGS systems.
+all five systems.
+
+Pipelined execution.  The AGS hardware overlaps the FC-engine/GPE
+tracking of frame ``t+1`` with the mapping of frame ``t`` (Fig. 9 of the
+paper).  ``SessionRunner(..., execution="pipelined")`` reproduces that
+overlap in software: ``run(sequence)`` drives the ``_track`` sub-stage
+on the calling thread and the ``_map`` sub-stage on a worker thread
+connected by a bounded two-stage queue.  A system's ``_track`` calls
+:meth:`SessionRunner._await_mapped` immediately before touching any
+mapping-owned state (the Gaussian map, keyframes); the gate blocks until
+every submitted map stage has completed — each actual wait bumps the
+``session.pipeline_stalls`` counter — so pipelined execution is
+*bit-identical* to sequential execution by construction: the same
+computations run in the same dependency order, only independent work
+(coarse pose estimation, CODEC covisibility, frame materialization)
+overlaps mapping.  The stage invocations are timed under
+``session/track_overlap`` and ``session/map_overlap``.
 """
 
 from __future__ import annotations
@@ -34,6 +50,8 @@ import copy
 import dataclasses
 import json
 import pathlib
+import queue as queue_module
+import threading
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -51,9 +69,11 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "EXECUTION_MODES",
     "SessionRunner",
     "SessionState",
     "SlamSession",
+    "TrackedFrame",
     "load_session_state",
     "pack_model",
     "pack_pose",
@@ -68,6 +88,48 @@ CHECKPOINT_MANIFEST = "manifest.json"
 CHECKPOINT_ARRAYS = "state.npz"
 CHECKPOINT_FORMAT = "repro-slam-session"
 CHECKPOINT_VERSION = 1
+
+EXECUTION_MODES = ("sequential", "pipelined")
+
+
+class _TwoStagePipeline:
+    """The bounded track→map handoff of a pipelined session run.
+
+    The track stage (caller thread) ``submit``\\ s ``(index, frame,
+    tracked)`` work items; the map stage (worker thread) consumes them in
+    order and acknowledges each with ``mark_completed``.  ``drain`` lets
+    the track stage wait until every submitted map has completed — the
+    dependency gate a system's ``_track`` uses before touching
+    mapping-owned state.  The queue depth bounds how far tracking may run
+    ahead of mapping (and therefore how many frames are in flight).
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.queue: queue_module.Queue = queue_module.Queue(maxsize=max(depth, 1))
+        self._cond = threading.Condition()
+        self._submitted = 0
+        self._completed = 0
+
+    def submit(self, item) -> None:
+        """Hand one tracked frame to the map stage (blocks when full)."""
+        with self._cond:
+            self._submitted += 1
+        self.queue.put(item)
+
+    def mark_completed(self) -> None:
+        """Acknowledge one map-stage completion (worker thread)."""
+        with self._cond:
+            self._completed += 1
+            self._cond.notify_all()
+
+    def drain(self) -> bool:
+        """Wait until every submitted map completed; True if it blocked."""
+        with self._cond:
+            if self._completed >= self._submitted:
+                return False
+            while self._completed < self._submitted:
+                self._cond.wait()
+            return True
 
 
 # ---------------------------------------------------------------------------
@@ -105,6 +167,21 @@ def restore_rng(state: dict) -> np.random.Generator:
     bit_generator = getattr(np.random, str(state["bit_generator"]))()
     bit_generator.state = copy.deepcopy(state)
     return np.random.Generator(bit_generator)
+
+
+@dataclasses.dataclass
+class TrackedFrame:
+    """Standard ``_track`` → ``_map`` handoff of the 3DGS systems.
+
+    Systems with richer tracking outputs (AGS's covisibility
+    measurements) define their own handoff type — the executor treats it
+    as opaque.
+    """
+
+    pose: Pose
+    workload: TrackingWorkload
+    loss: float = 0.0
+    iterations: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -159,14 +236,28 @@ class SessionRunner:
 
     * ``algorithm`` — class attribute naming the system.
     * ``reset()`` — clear all per-sequence state.
-    * ``_step(index, frame)`` — process one frame, returning
-      ``(FrameResult, FrameTrace | None)``.
+    * ``_track(index, frame)`` — the tracking sub-stage of one frame,
+      returning an opaque system-specific handoff object.  It owns the
+      tracking-side state (pose history, previous-frame references,
+      velocity priors) and must call :meth:`_await_mapped` immediately
+      before reading any mapping-owned state (the Gaussian map,
+      keyframes), so the pipelined executor can overlap it with the
+      previous frame's map stage.
+    * ``_map(index, frame, tracked)`` — the mapping/keyframe sub-stage,
+      returning ``(FrameResult, FrameTrace | None)``.  It owns the
+      mapping-side state and assembles the frame's results.
     * ``_final_model()`` — the map attached to the finalized result.
     * ``_state_payload()`` / ``_restore_payload(payload)`` — the
       system-specific checkpoint payload.
 
     and inherit ``begin`` / ``feed`` / ``finalize`` / ``state`` /
     ``restore`` plus the ``run(sequence)`` compatibility shim.
+
+    ``execution="pipelined"`` makes ``run`` overlap the tracking of frame
+    ``t+1`` with the mapping of frame ``t`` on a bounded two-stage
+    pipeline, bit-identical to sequential execution (see the module
+    docstring).  ``feed`` is inherently synchronous — it must return the
+    frame's result — so the overlap engages inside ``run`` only.
     """
 
     algorithm = "slam"
@@ -176,14 +267,25 @@ class SessionRunner:
         intrinsics: Intrinsics,
         collect_trace: bool = False,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
+        pipeline_depth: int = 2,
     ) -> None:
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode '{execution}'; expected one of {EXECUTION_MODES}"
+            )
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         self.intrinsics = intrinsics
         self.collect_trace = collect_trace
         self.perf = perf or NULL_RECORDER
+        self.execution = execution
+        self.pipeline_depth = pipeline_depth
         self._session_sequence: str | None = None
         self._session_result: SlamResult | None = None
         self._session_trace: SequenceTrace | None = None
         self._next_index = 0
+        self._pipeline: _TwoStagePipeline | None = None
 
     # ------------------------------------------------------------------
     # Hooks implemented by the systems
@@ -191,8 +293,30 @@ class SessionRunner:
     def reset(self) -> None:  # pragma: no cover - overridden
         """Clear all per-sequence state (overridden by systems)."""
 
-    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace | None]:
+    def _track(self, index: int, frame):
+        """Tracking sub-stage: estimate the frame's pose (overridden)."""
         raise NotImplementedError
+
+    def _map(self, index: int, frame, tracked) -> tuple[FrameResult, FrameTrace | None]:
+        """Mapping sub-stage: update the map, assemble results (overridden)."""
+        raise NotImplementedError
+
+    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace | None]:
+        """Process one frame sequentially: track, then map."""
+        return self._map(index, frame, self._track(index, frame))
+
+    def _await_mapped(self) -> None:
+        """Block until every submitted frame's map stage has completed.
+
+        Systems call this from ``_track`` immediately before reading
+        mapping-owned state.  Sequential execution makes it a no-op; in a
+        pipelined run each wait that actually blocks is counted as a
+        ``session.pipeline_stalls`` dependency stall (the software
+        analogue of the hardware's GPE back-pressure on the FC engine).
+        """
+        pipeline = self._pipeline
+        if pipeline is not None and pipeline.drain():
+            self.perf.count("session.pipeline_stalls")
 
     def _final_model(self) -> GaussianModel | None:
         return getattr(self, "model", None)
@@ -264,12 +388,76 @@ class SessionRunner:
         return result
 
     def run(self, sequence, num_frames: int | None = None) -> SlamResult:
-        """Batch compatibility shim: feed every frame, then finalize."""
+        """Batch compatibility shim: feed every frame, then finalize.
+
+        With ``execution="pipelined"`` the frame loop runs on the
+        two-stage track/map pipeline instead (bit-identical results).
+        """
         self.begin(getattr(sequence, "name", "stream"))
         total = len(sequence) if num_frames is None else min(num_frames, len(sequence))
-        for index in range(total):
-            self.feed(sequence[index])
+        if self.execution == "pipelined":
+            self._run_pipelined(sequence, total)
+        else:
+            for index in range(total):
+                self.feed(sequence[index])
         return self.finalize()
+
+    def _run_pipelined(self, sequence, total: int) -> None:
+        """Drive ``total`` frames through the bounded two-stage pipeline.
+
+        The calling thread materializes frames (in order, so lazy dataset
+        rendering stays deterministic) and runs the ``_track`` sub-stage;
+        one worker thread runs the ``_map`` sub-stage and appends results
+        in submission order.  A ``_map`` failure is re-raised here after
+        the worker drains the queue (so the track stage never deadlocks
+        on a full queue).
+        """
+        perf = self.perf
+        pipeline = self._pipeline = _TwoStagePipeline(self.pipeline_depth)
+        failures: list[BaseException] = []
+
+        def _map_stage() -> None:
+            while True:
+                item = pipeline.queue.get()
+                if item is None:
+                    return
+                index, frame, tracked = item
+                if not failures:
+                    try:
+                        with perf.section("session/map_overlap"):
+                            frame_result, frame_trace = self._map(index, frame, tracked)
+                        self._session_result.frames.append(frame_result)
+                        if self._session_trace is not None and frame_trace is not None:
+                            self._session_trace.frames.append(frame_trace)
+                        self._next_index = index + 1
+                    except BaseException as exc:  # propagated to the caller
+                        failures.append(exc)
+                pipeline.mark_completed()
+
+        worker = threading.Thread(target=_map_stage, name="session-map-stage", daemon=True)
+        worker.start()
+        try:
+            for index in range(total):
+                if failures:
+                    break
+                frame = sequence[index]
+                try:
+                    with perf.section("session/track_overlap"):
+                        tracked = self._track(index, frame)
+                except BaseException as exc:
+                    # A map failure can leave mapping state half-mutated;
+                    # a secondary track error it provokes must not mask
+                    # the root cause.
+                    if failures:
+                        raise failures[0] from exc
+                    raise
+                pipeline.submit((index, frame, tracked))
+        finally:
+            pipeline.queue.put(None)
+            worker.join()
+            self._pipeline = None
+        if failures:
+            raise failures[0]
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -301,6 +489,12 @@ class SessionRunner:
         The receiving system must be configured identically to the one
         that produced the checkpoint; subsequent ``feed`` calls then
         reproduce the uninterrupted run bit-for-bit.
+
+        Restoring is a full replacement: any frames or traces this
+        session accumulated before the call are discarded and the
+        accumulators become exactly the snapshot's copies — restoring
+        into a non-fresh session must never duplicate or interleave
+        history.
         """
         if state.algorithm != self.algorithm:
             raise ValueError(
@@ -309,12 +503,16 @@ class SessionRunner:
             )
         self.reset()
         self._session_sequence = state.sequence
-        self._session_result = SlamResult(algorithm=self.algorithm, sequence=state.sequence)
-        self._session_result.frames.extend(copy.deepcopy(state.frames))
+        self._session_result = SlamResult(
+            algorithm=self.algorithm,
+            sequence=state.sequence,
+            frames=copy.deepcopy(state.frames),
+        )
         if self.collect_trace:
             self._session_trace = self._new_trace()
-            if state.traces is not None:
-                self._session_trace.frames.extend(copy.deepcopy(state.traces))
+            self._session_trace.frames = (
+                [] if state.traces is None else copy.deepcopy(state.traces)
+            )
         else:
             self._session_trace = None
         self._next_index = state.next_index

@@ -23,13 +23,20 @@ import dataclasses
 
 import numpy as np
 
-from repro.gaussians.camera import Intrinsics
+from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
 from repro.perf import PerfRecorder
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult
-from repro.slam.session import SessionRunner, pack_model, pack_pose, unpack_model, unpack_pose
+from repro.slam.session import (
+    SessionRunner,
+    TrackedFrame,
+    pack_model,
+    pack_pose,
+    unpack_model,
+    unpack_pose,
+)
 from repro.slam.tracker import GaussianPoseTracker, TrackerConfig
 from repro.workloads import FrameTrace, MappingWorkload, TrackingWorkload
 
@@ -67,9 +74,15 @@ class SplaTam(SessionRunner):
         intrinsics: Intrinsics,
         config: SplaTamConfig | None = None,
         perf: PerfRecorder | None = None,
+        execution: str = "sequential",
     ) -> None:
         self.config = config or SplaTamConfig()
-        super().__init__(intrinsics, collect_trace=self.config.collect_trace, perf=perf)
+        super().__init__(
+            intrinsics,
+            collect_trace=self.config.collect_trace,
+            perf=perf,
+            execution=execution,
+        )
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations
         )
@@ -93,9 +106,6 @@ class SplaTam(SessionRunner):
         self._pose_history = []
 
     # ------------------------------------------------------------------
-    def _step(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        return self.process_frame(index, frame)
-
     def _state_payload(self) -> dict:
         return {
             "model": pack_model(self.model),
@@ -112,10 +122,19 @@ class SplaTam(SessionRunner):
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
-        """Process one frame: track, densify, map."""
-        config = self.config
+        """Process one frame sequentially: track, densify, map."""
+        return self._step(index, frame)
 
-        # ---------------- Tracking ----------------
+    def _track(self, index: int, frame) -> TrackedFrame:
+        """Tracking sub-stage: optimize the pose against the current map.
+
+        SplaTAM's tracker renders the Gaussian map, so past the trivial
+        warm start this stage depends on the previous frame's mapping —
+        ``_await_mapped`` gates the map read (a full dependency stall in
+        pipelined execution, exactly as on hardware for a baseline
+        without a map-free coarse tracker).
+        """
+        config = self.config
         if index == 0:
             pose = frame.gt_pose.copy() if config.anchor_first_pose_to_gt else self.tracker.initial_guess([])
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
@@ -123,6 +142,7 @@ class SplaTam(SessionRunner):
             tracking_iterations = 0
         else:
             initial = self.tracker.initial_guess(self._pose_history)
+            self._await_mapped()
             with self.perf.section("splatam/tracking"):
                 outcome = self.tracker.track(
                     self.model, frame.color, frame.depth, initial,
@@ -134,8 +154,17 @@ class SplaTam(SessionRunner):
             tracking_iterations = outcome.iterations_run
         self._pose_history.append(pose.copy())
         self.perf.count("tracking.refine_iterations", tracking_iterations)
+        return TrackedFrame(
+            pose=pose,
+            workload=tracking_workload,
+            loss=tracking_loss,
+            iterations=tracking_iterations,
+        )
 
-        # ---------------- Mapping ----------------
+    def _map(self, index: int, frame, tracked: TrackedFrame) -> tuple[FrameResult, FrameTrace]:
+        """Mapping sub-stage: densify, optimize the map, manage keyframes."""
+        config = self.config
+        pose = tracked.pose
         with self.perf.section("splatam/mapping"):
             mapping_outcome = self.mapper.map_frame(
                 self.model,
@@ -155,16 +184,16 @@ class SplaTam(SessionRunner):
         frame_result = FrameResult(
             frame_index=index,
             estimated_pose=pose.copy(),
-            tracking_iterations=tracking_iterations,
+            tracking_iterations=tracked.iterations,
             mapping_iterations=mapping_outcome.iterations_run,
-            tracking_loss=tracking_loss,
+            tracking_loss=tracked.loss,
             mapping_loss=mapping_outcome.final_loss,
             is_keyframe=True,
             num_gaussians=len(self.model),
         )
         frame_trace = FrameTrace(
             frame_index=index,
-            tracking=tracking_workload,
+            tracking=tracked.workload,
             mapping=mapping_outcome.workload
             if config.collect_trace
             else MappingWorkload(iterations=mapping_outcome.iterations_run),

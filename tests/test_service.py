@@ -189,3 +189,47 @@ def test_concurrent_run_calls_keep_perf_sections_well_formed():
     for path in recorder.timers.as_dict():
         # A corrupted stack would produce paths with two eval/ segments.
         assert path.count("eval/") == 1, path
+
+
+def test_two_services_sharing_one_recorder_do_not_drop_merges(monkeypatch):
+    """Concurrent merges from several services must serialize.
+
+    Regression test: two service instances defaulting to the same
+    (process-wide) recorder used to interleave ``merge`` read-modify-
+    write cycles under their *own* store locks, double-counting or
+    dropping timings/counters.  Merges now serialize on the receiving
+    recorder itself, so every increment survives any interleaving.
+    """
+    import threading
+
+    import repro.eval.service as service_module
+
+    def stub_execute(key, perf):
+        with perf.section("eval/stub"):
+            perf.count("stub.runs")
+        from repro.slam.results import SlamResult
+
+        return SlamResult(algorithm=key.algorithm, sequence=key.sequence)
+
+    monkeypatch.setattr(service_module, "_execute_run", stub_execute)
+
+    shared = PerfRecorder()
+    services = [SlamService(max_entries=256, perf=shared) for _ in range(2)]
+    runs_per_service = 100
+    key_batches = [
+        [RunKey("orb", f"svc{i}-seq{j}", **CHEAP) for j in range(runs_per_service)]
+        for i in range(2)
+    ]
+
+    threads = [
+        threading.Thread(target=service.run_many, args=(batch,), kwargs={"workers": 4})
+        for service, batch in zip(services, key_batches)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = 2 * runs_per_service
+    assert shared.counters.get("stub.runs") == total
+    assert shared.timers.get("eval/stub").calls == total
