@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Hot-path perf gate: re-measure the motion-estimation, rasterizer,
-# rasterizer-backward and pipelined-executor benchmarks and update
-# BENCH_hotpaths.json / BENCH_backward.json / BENCH_pipeline.json at the
-# repo root.
+# rasterizer-backward, pair-culling and pipelined-executor benchmarks and
+# update BENCH_hotpaths.json / BENCH_backward.json / BENCH_culling.json /
+# BENCH_pipeline.json at the repo root.
 #
 # If a gated hot-path timing regressed by more than 20% against a
 # committed BENCH_*.json, the script exits non-zero and leaves that
@@ -19,5 +19,7 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_hotpaths.py --gate "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_backward.py --gate "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_speed_culling.py --gate "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_pipeline.py --gate "$@"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: repo hygiene, the tier-1 test suite and the hot-path
-# perf gate (which includes the pipelined-executor bench).
+# perf gate (which includes the pair-culling and pipelined-executor
+# benches).
 #
 #   scripts/ci.sh          # hygiene + tier-1 tests + scripts/bench_speed.sh
 #   scripts/ci.sh --slow   # additionally run the weekly `pytest -m slow`

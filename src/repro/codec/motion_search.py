@@ -12,8 +12,10 @@ implementations:
   ``np.lib.stride_tricks.sliding_window_view``, chunking over displacements
   to bound peak memory.
 * :func:`diamond_search_batched` advances the diamond-search state machine
-  of every still-improving block simultaneously, probing one pattern
-  offset per vectorized step.
+  of every still-improving block simultaneously, batching each round's
+  candidate probes into one fused gather and memoizing every SAD in a
+  visited-offset hash (diamond trajectories revisit displacements
+  constantly, so replayed probes skip the window gather entirely).
 
 Both backends reproduce the reference results *exactly*: identical minimum
 SADs, identical motion vectors (including tie-breaking order) and an
@@ -204,12 +206,24 @@ def diamond_search_batched(
     search_range: int,
     max_steps: int = 8,
 ) -> tuple[np.ndarray, np.ndarray, int]:
-    """Diamond search advanced in lock-step across all blocks.
+    """Trajectory-hashing diamond search, batched per round across all blocks.
 
-    Every probe of the reference algorithm — including its mid-sweep center
-    updates and the per-step re-probe of the current center — is replayed
-    with one vectorized SAD evaluation per pattern offset, restricted to
-    the blocks that are still improving.
+    Two batching layers replace the former one-vectorized-SAD-per-probe
+    lock-step loop:
+
+    * **Per-round probe batching** — at the start of every round, the SADs
+      of *all nine* large-diamond candidates of every still-active block
+      are computed in one fused gather/reduce.  The sequential sweep that
+      replays the reference algorithm's comparisons (including its
+      mid-sweep center updates, which shift the probe positions of later
+      offsets) then runs almost entirely against these prefetched values.
+    * **A visited-offset hash** — every SAD ever computed is memoized per
+      (block, displacement).  Diamond trajectories revisit displacements
+      constantly (the center is re-probed each round, and consecutive
+      large-diamond patterns overlap), so most post-first-round probes are
+      hash hits that skip the window gather entirely.  Replayed probes
+      still *count* as evaluations, exactly like the reference loop, so
+      the FC-engine hardware model sees unchanged costs.
 
     Returns:
         ``(min_sads, motion_vectors, sad_evaluations)`` identical to
@@ -232,20 +246,51 @@ def diamond_search_batched(
     evaluations = 0
     active = np.ones(num_blocks, dtype=bool)
 
-    def probe(mask: np.ndarray, mv_x: np.ndarray, mv_y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """SAD of each masked block at its candidate displacement.
+    # Visited-offset hash: one slot per (block, displacement) within the
+    # padded probe reach; NaN marks "never evaluated" (a real SAD is never
+    # NaN — out-of-frame candidates come back inf from the padded border).
+    side = 2 * pad + 1
+    sad_cache = np.full((num_blocks, side * side), np.nan)
 
-        Returns ``(indices, sad_values)``; out-of-frame candidates come
-        back as ``inf`` (window hits the inf border).
-        """
-        idx = np.nonzero(mask)[0]
-        cand = windows[base_y[idx] + mv_y[idx], base_x[idx] + mv_x[idx]]
-        values = np.abs(cand - blocks[idx]).sum(axis=(1, 2))
-        return idx, values
+    def fetch(idx: np.ndarray, mv_x: np.ndarray, mv_y: np.ndarray) -> np.ndarray:
+        """SAD of blocks ``idx`` at their displacements, via the hash."""
+        keys = (mv_y + pad) * side + (mv_x + pad)
+        values = sad_cache[idx, keys]
+        missing = np.isnan(values)
+        if missing.any():
+            mi = idx[missing]
+            cand = windows[base_y[mi] + mv_y[missing], base_x[mi] + mv_x[missing]]
+            fresh = np.abs(cand - blocks[mi]).sum(axis=(1, 2))
+            sad_cache[mi, keys[missing]] = fresh
+            values[missing] = fresh
+        return values
 
-    for _ in range(max_steps):
+    large_dx = np.array([dx for dx, _ in _DIAMOND_LARGE], dtype=np.int64)
+    large_dy = np.array([dy for _, dy in _DIAMOND_LARGE], dtype=np.int64)
+
+    for step in range(max_steps):
         if not active.any():
             break
+        if step > 0:
+            # Prefetch: batch-evaluate the round's in-radius large-diamond
+            # candidates around the round-start centers in one gather.
+            # Skipped in round one, where frame motion makes mid-sweep
+            # center updates — which redirect the later probes — common
+            # enough that speculative evaluation loses; from round two on
+            # the still-active set is small and its trajectories overlap
+            # heavily with the hash, so the residual misses batch well.
+            # Redirected probes fall through to ``fetch``'s miss path (and
+            # whatever was prefetched stays cached for future rounds).
+            idx0 = np.nonzero(active)[0]
+            px = center_x[idx0][:, None] + large_dx[None, :]
+            py = center_y[idx0][:, None] + large_dy[None, :]
+            in_radius = (np.abs(px) <= radius) & (np.abs(py) <= radius)
+            fetch(
+                np.broadcast_to(idx0[:, None], px.shape)[in_radius],
+                px[in_radius],
+                py[in_radius],
+            )
+
         improved = np.zeros(num_blocks, dtype=bool)
         for dx, dy in _DIAMOND_LARGE:
             mv_x = center_x + dx
@@ -253,7 +298,8 @@ def diamond_search_batched(
             mask = active & (np.abs(mv_x) <= radius) & (np.abs(mv_y) <= radius)
             if not mask.any():
                 continue
-            idx, values = probe(mask, mv_x, mv_y)
+            idx = np.nonzero(mask)[0]
+            values = fetch(idx, mv_x[idx], mv_y[idx])
             evaluations += int(np.isfinite(values).sum())
             better = values < best_sad[idx]
             upd = idx[better]
@@ -271,7 +317,8 @@ def diamond_search_batched(
         mask = (np.abs(mv_x) <= radius) & (np.abs(mv_y) <= radius)
         if not mask.any():
             continue
-        idx, values = probe(mask, mv_x, mv_y)
+        idx = np.nonzero(mask)[0]
+        values = fetch(idx, mv_x[idx], mv_y[idx])
         evaluations += int(np.isfinite(values).sum())
         better = values < best_sad[idx]
         upd = idx[better]

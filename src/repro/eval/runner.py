@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.eval.service import RunKey, default_service
+from repro.perf import global_recorder
 from repro.hardware import (
     AGS_EDGE,
     AGS_SERVER,
@@ -136,20 +137,24 @@ def scaled_trace_for_platforms(result):
     return scale_trace(trace, pixel_factor, gaussian_factor)
 
 
-def collect_platform_results(baseline_result, ags_result):
+def collect_platform_results(baseline_result, ags_result, perf=None):
     """Simulate the standard platform set on a (baseline, AGS) result pair.
 
     Returns a dict with the six platforms of Fig. 15: GPU-Server (A100),
     GPU-Edge (Xavier), GSCore-Server/Edge (baseline traces) and
-    AGS-Server/Edge (AGS traces).
+    AGS-Server/Edge (AGS traces).  All six simulators record their
+    ``hw/<component>`` timers and ``hw.*`` workload counters into
+    ``perf`` (default: the process-wide recorder); pass a per-run
+    recorder to keep concurrent evaluations attributable.
     """
+    recorder = perf or global_recorder()
     baseline_trace = scaled_trace_for_platforms(baseline_result)
     ags_trace = scaled_trace_for_platforms(ags_result)
     return {
-        "GPU-Server": GpuPlatform(NVIDIA_A100).simulate(baseline_trace),
-        "GPU-Edge": GpuPlatform(JETSON_XAVIER).simulate(baseline_trace),
-        "GSCore-Server": GsCorePlatform(NVIDIA_A100).simulate(baseline_trace),
-        "GSCore-Edge": GsCorePlatform(JETSON_XAVIER).simulate(baseline_trace),
-        "AGS-Server": AgsAccelerator(AGS_SERVER).simulate(ags_trace),
-        "AGS-Edge": AgsAccelerator(AGS_EDGE).simulate(ags_trace),
+        "GPU-Server": GpuPlatform(NVIDIA_A100, perf=recorder).simulate(baseline_trace),
+        "GPU-Edge": GpuPlatform(JETSON_XAVIER, perf=recorder).simulate(baseline_trace),
+        "GSCore-Server": GsCorePlatform(NVIDIA_A100, perf=recorder).simulate(baseline_trace),
+        "GSCore-Edge": GsCorePlatform(JETSON_XAVIER, perf=recorder).simulate(baseline_trace),
+        "AGS-Server": AgsAccelerator(AGS_SERVER, perf=recorder).simulate(ags_trace),
+        "AGS-Edge": AgsAccelerator(AGS_EDGE, perf=recorder).simulate(ags_trace),
     }

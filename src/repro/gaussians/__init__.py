@@ -35,6 +35,20 @@ Rendering hot-path knobs (``render`` / ``render_backward``):
 * ``dtype=np.float32`` runs the bucketed forward in single precision
   (~1e-4 image error, roughly half the time and memory).  The reference
   backend always computes in float64.
+* ``render(..., radius="opacity", cull="precise")`` (the defaults) are
+  the exact sparse pair-culling knobs: opacity-aware splat radii plus a
+  precise conic-vs-tile intersection test drop every (tile, Gaussian)
+  pair whose alpha is provably below ``ALPHA_MIN`` across the tile.
+  Rendered images, contribution statistics and gradients are
+  bit-identical to the legacy ``radius="sigma"`` / ``cull="aabb"``
+  tables (``tests/test_pair_culling.py``); only the workload shrinks
+  (``TileGrid.pairs_total`` / ``pairs_culled``, also emitted as
+  ``raster.pairs_*`` perf counters via ``render(..., perf=)``).
+* ``ForwardCache(dtype=np.float32)`` stores the retained blending
+  intermediates in single precision (~25 % less pool memory, images
+  unchanged, ~1e-7 relative gradient deviation — see the ``-m slow``
+  accuracy study); the default float64 keeps the fused backward
+  bit-for-bit independent of caching.
 
 ``GaussianModel.alphas`` memoizes the sigmoid of the opacity logits,
 :class:`repro.gaussians.scratch.ScratchPool` provides the reusable

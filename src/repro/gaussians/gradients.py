@@ -50,7 +50,6 @@ from repro.gaussians.rasterizer import (
     build_forward_cache,
     tile_forward,
 )
-from repro.gaussians.scratch import scatter_add as _scatter_add
 from repro.perf import NULL_RECORDER, PerfRecorder
 
 __all__ = ["GaussianGradients", "PoseGradients", "render_backward"]
@@ -299,6 +298,15 @@ def _accumulate_bucketed(
     algebraically identical, so the two backends agree to float64
     round-off.  Padding entries have zero ``alpha``/``weights`` and
     contribute exactly zero to every scatter, so no masking is needed.
+
+    Accumulation order is *canonical*: each chunk writes its per-(tile,
+    Gaussian) partial gradients into a flat pair table laid out in global
+    (tile index, table position) order, and one ``bincount`` per component
+    folds the table into the per-Gaussian accumulators at the end.  The
+    result therefore does not depend on how tiles were grouped into size
+    buckets — and since pair culling only removes exact-zero rows from the
+    table, culled and un-culled runs produce bit-identical gradients even
+    though culling reshuffles the buckets.
     """
     projection = result.projection
     grid = result.tile_grid
@@ -307,6 +315,7 @@ def _accumulate_bucketed(
     if (
         cache is None
         or cache.generation != result.forward_cache_generation
+        or cache.mode != result.forward_cache_mode
         or cache.height != height
         or cache.width != width
     ):
@@ -344,9 +353,25 @@ def _accumulate_bucketed(
     conic01 = projection.conics[:, 0, 1]
     conic11 = projection.conics[:, 1, 1]
 
+    # Canonical flat pair table in global (tile index, table position)
+    # order.  Chunks write their per-pair partial gradients into it; the
+    # per-Gaussian fold happens once at the end, in pair order, making the
+    # accumulation independent of the bucket grouping.
+    table_lengths = np.fromiter(
+        (len(table) for table in grid.tables), dtype=np.int64, count=len(grid.tables)
+    )
+    pair_starts = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(table_lengths)])
+    total_pairs = int(pair_starts[-1])
+    if total_pairs == 0:
+        return
+    pair_gids = np.concatenate([table.gaussian_ids for table in grid.tables if len(table)])
+
     # Backward temporaries share the cache's scratch pool, so repeated
     # backward passes (one per optimizer iteration) allocate nothing.
+    # Pair-value columns: colors (3), depth (1), opacity (1), mean2d (2),
+    # cov2d (4).
     pool = cache.pool
+    pair_vals = pool.take("bwd.pair_vals", (total_pairs, 11), np.float64)
     for chunk in cache.chunks:
         num_tiles, num_pixels, padded = chunk.alpha.shape
         shape = chunk.alpha.shape
@@ -374,9 +399,10 @@ def _accumulate_bucketed(
             gpar[:, :, sil_col] = 1.0
 
         weight_sums = np.matmul(weights.transpose(0, 2, 1), pix)  # (T, G, C)
-        _scatter_add(acc.colors, ids, weight_sums[:, :, :3])
+        contrib = pool.take("bwd.contrib", (num_tiles, padded, 11), np.float64)
+        contrib[:, :, :3] = weight_sums[:, :, :3]
         if depth_col >= 0:
-            _scatter_add(acc.d_depth_per_gaussian, ids, weight_sums[:, :, depth_col])
+            contrib[:, :, 3] = weight_sums[:, :, depth_col]
         u = pool.take("bwd.u", shape, np.float64)
         np.matmul(pix, gpar.transpose(0, 2, 1), out=u)
 
@@ -409,7 +435,7 @@ def _accumulate_bucketed(
         dl_dpower = dl_dalpha
         np.multiply(dl_dalpha, alpha, out=dl_dpower)
         opac_safe = np.where(chunk.opac > 0.0, chunk.opac, 1.0)
-        _scatter_add(acc.d_opacity_sigmoid, ids, dl_dpower.sum(axis=1) / opac_safe)
+        contrib[:, :, 4] = dl_dpower.sum(axis=1) / opac_safe
 
         # Pixel offsets d = pixel - mean2d, retained by the forward pass
         # (the cache trades two more (T, P, G) arrays for skipping this
@@ -424,11 +450,8 @@ def _accumulate_bucketed(
         c00 = conic00[ids]
         c01 = conic01[ids]
         c11 = conic11[ids]
-        _scatter_add(
-            acc.d_mean2d,
-            ids,
-            np.stack([c00 * sum_x + c01 * sum_y, c01 * sum_x + c11 * sum_y], axis=-1),
-        )
+        contrib[:, :, 5] = c00 * sum_x + c01 * sum_y
+        contrib[:, :, 6] = c01 * sum_x + c11 * sum_y
 
         # dpower/dSigma2D^-1 = -0.5 d d^T ; chain to Sigma2D via -A dA A.
         d_conic = np.empty((num_tiles, padded, 2, 2))
@@ -439,7 +462,31 @@ def _accumulate_bucketed(
         d_conic *= -0.5
         conics_g = projection.conics[ids]
         d_cov2d_chunk = -np.einsum("tgij,tgjk,tgkl->tgil", conics_g, d_conic, conics_g)
-        _scatter_add(acc.d_cov2d, ids, d_cov2d_chunk)
+        contrib[:, :, 7:] = d_cov2d_chunk.reshape(num_tiles, padded, 4)
+
+        # Route the chunk's real (unpadded) rows to their canonical slots.
+        real = np.arange(padded)[None, :] < chunk.lengths[:, None]
+        dest = pair_starts[chunk.tile_indices][:, None] + np.arange(padded)[None, :]
+        pair_vals[dest[real]] = contrib[real]
+
+    # Fold the pair table into the per-Gaussian accumulators.  bincount
+    # accumulates strictly sequentially over the table, i.e. in canonical
+    # pair order for every Gaussian.
+    count = len(acc.d_opacity_sigmoid)
+
+    def _fold(column: int) -> np.ndarray:
+        return np.bincount(pair_gids, weights=pair_vals[:, column], minlength=count)
+
+    for component in range(3):
+        acc.colors[:, component] += _fold(component)
+    if depth_col >= 0:
+        acc.d_depth_per_gaussian += _fold(3)
+    acc.d_opacity_sigmoid += _fold(4)
+    acc.d_mean2d[:, 0] += _fold(5)
+    acc.d_mean2d[:, 1] += _fold(6)
+    cov_flat = acc.d_cov2d.reshape(count, 4)
+    for component in range(4):
+        cov_flat[:, component] += _fold(7 + component)
 
 
 def render_backward(

@@ -20,7 +20,13 @@ import numpy as np
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
 
-__all__ = ["ProjectionResult", "project_gaussians", "batch_quat_to_rotmat"]
+__all__ = [
+    "ALPHA_MIN",
+    "ProjectionResult",
+    "RADIUS_MODES",
+    "project_gaussians",
+    "batch_quat_to_rotmat",
+]
 
 # Low-pass filter added to the 2D covariance (in pixel^2), as in the
 # reference 3DGS implementation, to guarantee a minimum splat footprint.
@@ -29,6 +35,26 @@ COV2D_BLUR = 0.3
 NEAR_CLIP = 0.05
 # Number of standard deviations used for the splat bounding radius.
 RADIUS_SIGMA = 3.0
+# A Gaussian whose alpha at a pixel falls below this value is zeroed by the
+# rasterizer's blending loop (1/255, the reference implementation cut-off).
+# Defined here — not in the rasterizer, which imports this module — because
+# the opacity-aware radius is exactly the support of that cut-off;
+# :mod:`repro.gaussians.rasterizer` re-exports it unchanged.
+ALPHA_MIN = 1.0 / 255.0
+# Splat bounding-radius modes:
+#   "sigma"   — the classic fixed RADIUS_SIGMA-standard-deviation bound;
+#   "opacity" — the support of the conic sublevel set q <= tau with
+#               tau = 2 ln(opacity / ALPHA_MIN): outside it the splat's
+#               alpha is provably below ALPHA_MIN, so low-opacity splats
+#               get radii far tighter than 3 sigma with zero output change.
+#               Capped at the sigma radius, because the rasterizer's
+#               reference semantics never evaluate beyond the 3-sigma
+#               bounding box (high-opacity splats keep the classic bound).
+RADIUS_MODES = ("sigma", "opacity")
+# Inflation applied before the ceil of the opacity-aware radius so that
+# floating-point round-off in sqrt(tau * lambda_max) can never shave a
+# pixel whose alpha is exactly at the ALPHA_MIN boundary.
+_RADIUS_EPS = 1e-6
 
 
 def batch_quat_to_rotmat(quats: np.ndarray) -> np.ndarray:
@@ -73,14 +99,24 @@ class ProjectionResult:
         depths: (N,) camera-space depths.
         cov2d: (N, 2, 2) projected covariances (with blur).
         conics: (N, 2, 2) inverses of ``cov2d``.
-        radii: (N,) splat bounding radii in pixels.
-        visible: (N,) boolean visibility mask (in front of camera and on screen).
+        radii: (N,) splat bounding radii in pixels (mode-dependent: the
+            tight opacity-aware radii under ``radius="opacity"``).
+        visible: (N,) boolean visibility mask (in front of camera and on
+            screen).  Always judged against the classic sigma radii so the
+            mask — and everything derived from it — is identical across
+            radius modes.
         cam_points: (N, 3) Gaussian means in camera coordinates.
         proj_jacobians: (N, 2, 3) perspective Jacobians ``J``.
         view_rotation: (3, 3) world-to-camera rotation ``W``.
         cov3d: (N, 3, 3) world covariances.
         rotmats: (N, 3, 3) Gaussian local rotations.
         m_mats: (N, 3, 3) ``R @ diag(scale)`` factors.
+        radii_sigma: (N,) the classic RADIUS_SIGMA-standard-deviation radii
+            (the workload baseline tile assignment measures culling against).
+        tau: (N,) conic support thresholds ``2 ln(opacity / ALPHA_MIN)``;
+            wherever the conic quadratic ``q(p)`` exceeds ``tau`` the
+            splat's alpha is provably below ``ALPHA_MIN``.
+        radius_mode: which entry of :data:`RADIUS_MODES` produced ``radii``.
     """
 
     means2d: np.ndarray
@@ -95,6 +131,9 @@ class ProjectionResult:
     cov3d: np.ndarray
     rotmats: np.ndarray
     m_mats: np.ndarray
+    radii_sigma: np.ndarray | None = None
+    tau: np.ndarray | None = None
+    radius_mode: str = "sigma"
 
     @property
     def num_visible(self) -> int:
@@ -102,13 +141,27 @@ class ProjectionResult:
         return int(np.count_nonzero(self.visible))
 
 
-def project_gaussians(model: GaussianModel, camera: Camera) -> ProjectionResult:
+def project_gaussians(
+    model: GaussianModel, camera: Camera, radius: str = "opacity"
+) -> ProjectionResult:
     """Project all Gaussians of ``model`` into ``camera``.
 
     Gaussians behind the near plane or whose splat lies entirely outside
     the image are marked invisible but keep placeholder entries so that
     indices remain aligned with the model.
+
+    Args:
+        model: the Gaussian model.
+        camera: the viewpoint.
+        radius: splat bounding-radius mode (see :data:`RADIUS_MODES`).
+            ``"opacity"`` (the default) shrinks the radius of low-opacity
+            splats to the support of ``alpha >= ALPHA_MIN`` — every
+            (tile, Gaussian) pair this drops relative to ``"sigma"`` is
+            zeroed by the rasterizer's alpha cut-off anyway, so rendered
+            output is bit-identical while the tile tables shrink.
     """
+    if radius not in RADIUS_MODES:
+        raise ValueError(f"unknown radius mode {radius!r}; expected one of {RADIUS_MODES}")
     count = len(model)
     intr = camera.intrinsics
     rotation = camera.pose.rotation
@@ -145,15 +198,32 @@ def project_gaussians(model: GaussianModel, camera: Camera) -> ProjectionResult:
     # Bounding radius from the largest eigenvalue of cov2d.
     mid = 0.5 * (cov2d[:, 0, 0] + cov2d[:, 1, 1])
     disc = np.sqrt(np.maximum(mid * mid - det, 1e-12))
-    lambda_max = mid + disc
-    radii = np.ceil(RADIUS_SIGMA * np.sqrt(np.maximum(lambda_max, 1e-12)))
+    lambda_max = np.maximum(mid + disc, 1e-12)
+    radii_sigma = np.ceil(RADIUS_SIGMA * np.sqrt(lambda_max))
+
+    # Opacity-aware support threshold: alpha = opacity * exp(-q / 2) drops
+    # below ALPHA_MIN exactly where q > tau.  The extent of the sublevel
+    # ellipse {q <= tau} along any axis is at most sqrt(tau * lambda_max).
+    alphas = model.alphas
+    tau = 2.0 * (np.log(np.maximum(alphas, 1e-300)) - np.log(ALPHA_MIN))
+    if radius == "opacity":
+        radii_opacity = np.ceil(
+            np.sqrt(np.maximum(tau, 0.0) * lambda_max) + _RADIUS_EPS
+        )
+        radii = np.minimum(radii_sigma, radii_opacity)
+    else:
+        radii = radii_sigma
 
     in_front = depths > NEAR_CLIP
+    # On-screen test against the sigma radii: the visibility mask (and the
+    # per-Gaussian workload baseline derived from it) must not depend on
+    # the radius mode.  A visible Gaussian whose tight box lies fully
+    # off-screen simply produces an empty tile range downstream.
     on_screen = (
-        (means2d[:, 0] + radii >= 0)
-        & (means2d[:, 0] - radii < intr.width)
-        & (means2d[:, 1] + radii >= 0)
-        & (means2d[:, 1] - radii < intr.height)
+        (means2d[:, 0] + radii_sigma >= 0)
+        & (means2d[:, 0] - radii_sigma < intr.width)
+        & (means2d[:, 1] + radii_sigma >= 0)
+        & (means2d[:, 1] - radii_sigma < intr.height)
     )
     visible = in_front & on_screen
 
@@ -170,4 +240,7 @@ def project_gaussians(model: GaussianModel, camera: Camera) -> ProjectionResult:
         cov3d=cov3d,
         rotmats=rotmats,
         m_mats=m_mats,
+        radii_sigma=radii_sigma,
+        tau=tau,
+        radius_mode=radius,
     )

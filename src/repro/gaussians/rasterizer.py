@@ -33,13 +33,26 @@ import numpy as np
 
 from repro.gaussians.camera import Camera
 from repro.gaussians.model import GaussianModel
-from repro.gaussians.projection import ProjectionResult, project_gaussians
+from repro.gaussians.projection import (
+    ALPHA_MIN,
+    RADIUS_MODES,
+    ProjectionResult,
+    project_gaussians,
+)
 from repro.gaussians.scratch import ScratchPool, scatter_add
-from repro.gaussians.tiles import TILE_SIZE, GaussianTable, TileGrid, assign_tiles
+from repro.gaussians.tiles import (
+    CULL_MODES,
+    TILE_SIZE,
+    GaussianTable,
+    TileGrid,
+    assign_tiles,
+)
 
 __all__ = [
     "ALPHA_MIN",
     "ALPHA_MAX",
+    "DEFAULT_CULL_MODE",
+    "DEFAULT_RADIUS_MODE",
     "TRANSMITTANCE_EPS",
     "ForwardCache",
     "RasterizationResult",
@@ -49,15 +62,24 @@ __all__ = [
     "tile_forward",
 ]
 
-# A Gaussian whose alpha at a pixel falls below this value is ignored by
-# the blending loop (matches the reference implementation's 1/255 cut-off).
-ALPHA_MIN = 1.0 / 255.0
+# ALPHA_MIN (1/255, the cut-off below which a splat's alpha is zeroed by
+# the blending loop) is defined in repro.gaussians.projection — the
+# opacity-aware splat radius is its support — and re-exported here, its
+# historical home.
 # Alpha is clamped to this maximum to keep the blending numerically stable.
 ALPHA_MAX = 0.99
 # Early termination threshold on the transmittance T (paper: 1e-4).
 TRANSMITTANCE_EPS = 1e-4
 
 _RENDER_BACKENDS = ("bucketed", "reference")
+
+# Default pair-culling configuration of ``render``: opacity-aware splat
+# radii plus the precise conic-vs-tile intersection test.  Both are exact
+# (rendered images, gradients and contribution statistics are bit-identical
+# to the legacy radius="sigma" / cull="aabb" tables); they only shrink the
+# Gaussian tables every downstream engine iterates over.
+DEFAULT_RADIUS_MODE = "opacity"
+DEFAULT_CULL_MODE = "precise"
 
 
 @dataclasses.dataclass
@@ -119,25 +141,41 @@ class ForwardCache:
 
     A cache is only valid for the *most recent* render that populated it:
     ``generation`` is bumped on every populate and stamped onto the
-    :class:`RasterizationResult`, and the backward pass rebuilds the
+    :class:`RasterizationResult` — together with the radius/cull mode tag
+    of the tile grid that produced it — and the backward pass rebuilds the
     intermediates when the stamps disagree rather than silently reading
     overwritten buffers.
+
+    ``dtype`` selects the *storage* precision of the retained per-pair
+    arrays (``alpha`` / ``t_before`` / ``weights`` / ``dx`` / ``dy`` /
+    opacities).  ``ForwardCache(dtype=np.float32)`` halves those retained
+    arrays (~25 % less pool memory end-to-end, since the chunk-sized
+    compute scratch stays full precision) while the forward render still
+    computes and composites in its own dtype — images are unchanged.  The
+    fused backward then reads float32 intermediates, which perturbs
+    gradients at the ~1e-7 relative level (measured by the ``-m slow``
+    accuracy study in ``tests/test_pair_culling.py``).  The default
+    (``None``) stores in the forward compute dtype — float64 — which
+    keeps the backward bit-for-bit independent of caching.
     """
 
-    def __init__(self, pool: ScratchPool | None = None) -> None:
+    def __init__(self, pool: ScratchPool | None = None, dtype=None) -> None:
         self.pool = pool or ScratchPool()
         self.chunks: list[_CachedChunk] = []
         self.height = 0
         self.width = 0
         self.dtype: np.dtype | None = None
+        self.store_dtype: np.dtype | None = None if dtype is None else np.dtype(dtype)
+        self.mode = ""
         self.generation = 0
 
-    def begin(self, height: int, width: int, dtype: np.dtype) -> None:
+    def begin(self, height: int, width: int, dtype: np.dtype, mode: str = "") -> None:
         """Start a new populate: invalidate previous contents."""
         self.chunks.clear()
         self.height = int(height)
         self.width = int(width)
         self.dtype = np.dtype(dtype)
+        self.mode = mode
         self.generation += 1
 
     def __len__(self) -> int:
@@ -181,6 +219,10 @@ class RasterizationResult:
             the fused backward pass.
         forward_cache_generation: the cache generation this result belongs
             to — the backward pass rebuilds when the cache moved on.
+        forward_cache_mode: the tile grid's radius/cull mode tag at cache
+            populate time; part of the staleness stamp, so a cache filled
+            under one culling configuration is never consumed by a result
+            carrying another.
     """
 
     color: np.ndarray
@@ -196,6 +238,7 @@ class RasterizationResult:
     active_mask: np.ndarray | None = None
     forward_cache: "ForwardCache | None" = None
     forward_cache_generation: int = -1
+    forward_cache_mode: str = ""
 
     @property
     def total_pairs_computed(self) -> int:
@@ -414,10 +457,18 @@ def _render_bucketed(
     thresh = dtype.type(contribution_threshold)
 
     if cache is not None:
-        cache.begin(height, width, dtype)
+        cache.begin(height, width, dtype, mode=getattr(tile_grid, "mode_tag", ""))
         pool = cache.pool
+        store_dtype = cache.store_dtype or dtype
+        # When the cache stores a narrower dtype than the compute dtype,
+        # the blending runs in transient full-precision buffers (so the
+        # composited images are unchanged) and each chunk's intermediates
+        # are down-cast into the persistent cache buffers afterwards.
+        cast_store = store_dtype != dtype
     else:
         pool = ScratchPool()
+        store_dtype = dtype
+        cast_store = False
     eps = dtype.type(TRANSMITTANCE_EPS)
 
     chunk_index = 0
@@ -430,7 +481,7 @@ def _render_bucketed(
             num_tiles = len(chunk)
 
             ids = np.zeros((num_tiles, padded), dtype=np.int64)
-            if cache is not None:
+            if cache is not None and not cast_store:
                 opac = np.zeros((num_tiles, padded), dtype=dtype)
             else:
                 opac = pool.take("opac", (num_tiles, padded), dtype)
@@ -455,7 +506,7 @@ def _render_bucketed(
                           + origin_x[:, None] + col_off[None, :]).reshape(-1)
 
             shape = (num_tiles, num_pixels, padded)
-            if cache is not None:
+            if cache is not None and not cast_store:
                 # The pixel offsets are retained for the fused backward
                 # pass (dpower/dmean and dpower/dconic both need them), so
                 # the backward skips recomputing them per chunk.
@@ -482,10 +533,14 @@ def _render_bucketed(
             np.multiply(power, dtype.type(-0.5), out=power)
             np.minimum(power, dtype.type(0.0), out=power)
 
-            if cache is not None:
+            if cache is not None and not cast_store:
                 alpha = pool.take(f"cache.alpha.{chunk_index}", shape, dtype)
                 np.exp(power, out=alpha)
                 t_before = pool.take(f"cache.t_before.{chunk_index}", shape, dtype)
+                clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+            elif cache is not None:
+                alpha = np.exp(power, out=power)
+                t_before = pool.take("t_before", shape, dtype)
                 clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
             else:
                 alpha = np.exp(power, out=power)
@@ -506,18 +561,32 @@ def _render_bucketed(
             t_before[:, :, 0] = 1.0
             terminated = t_before < eps
             alpha[terminated] = 0.0
-            if cache is not None:
+            if cache is not None and not cast_store:
                 weights = pool.take(f"cache.weights.{chunk_index}", shape, dtype)
                 np.multiply(t_before, alpha, out=weights)
+            elif cache is not None:
+                # cross is dead here; dx/dy must survive for the cast store.
+                weights = np.multiply(t_before, alpha, out=cross)
             else:
                 weights = np.multiply(t_before, alpha, out=dy)
 
             if write_images:
-                color_flat[flat_index] = (weights @ g_colors_all[ids]).reshape(-1, 3)
-                depth_flat[flat_index] = np.matmul(
-                    weights, g_depths_all[ids][:, :, None]
-                ).reshape(-1)
-                silhouette_flat[flat_index] = weights.sum(axis=2).reshape(-1)
+                # Color, depth and silhouette composited by one batched
+                # matmul against [colors | depths | 1].  Besides fusing
+                # three kernels, the matmul reduces each pixel's Gaussian
+                # axis through a single sequential accumulation chain per
+                # output, so exact-zero (culled) entries drop out of the
+                # sums without perturbing a bit — the invariant the pair-
+                # culling exactness tests pin down.
+                gpar = pool.take("gpar", (num_tiles, padded, 5), dtype)
+                gpar[:, :, :3] = g_colors_all[ids]
+                gpar[:, :, 3] = g_depths_all[ids]
+                gpar[:, :, 4] = 1.0
+                composite = pool.take("composite", (num_tiles, num_pixels, 5), dtype)
+                np.matmul(weights, gpar, out=composite)
+                color_flat[flat_index] = composite[:, :, :3].reshape(-1, 3)
+                depth_flat[flat_index] = composite[:, :, 3].reshape(-1)
+                silhouette_flat[flat_index] = composite[:, :, 4].reshape(-1)
                 np.subtract(dtype.type(1.0), alpha, out=one_minus)
                 final_t_flat[flat_index] = np.prod(one_minus, axis=2).reshape(-1)
 
@@ -545,6 +614,21 @@ def _render_bucketed(
                         per_pixel_counts[int(tile_indices[slot])] = blended_per_pixel[slot]
 
             if cache is not None:
+                if cast_store:
+                    # Down-cast the blending intermediates into the
+                    # persistent (narrow-dtype) cache buffers; the images
+                    # above were composited from the full-precision ones.
+                    def _persist(name: str, src: np.ndarray) -> np.ndarray:
+                        buf = pool.take(f"cache.{name}.{chunk_index}", shape, store_dtype)
+                        buf[...] = src
+                        return buf
+
+                    alpha = _persist("alpha", alpha)
+                    t_before = _persist("t_before", t_before)
+                    weights = _persist("weights", weights)
+                    dx = _persist("dx", dx)
+                    dy = _persist("dy", dy)
+                    opac = opac.astype(store_dtype)
                 cache.chunks.append(
                     _CachedChunk(
                         tile_indices=tile_indices,
@@ -619,6 +703,30 @@ def build_forward_cache(
     return cache
 
 
+def _add_back_culled_stats(
+    tile_grid: TileGrid,
+    touched: np.ndarray,
+    noncontrib: np.ndarray,
+    contribution_threshold: float,
+) -> None:
+    """Fold culled pairs back into the per-Gaussian contribution statistics.
+
+    Every pair the tile assignment culled has exactly-zero blending weight
+    at each of its pixels, so relative to the legacy sigma-radius tables it
+    would have counted every tile pixel as touched and (for any positive
+    threshold) as non-contributory.  Adding those pixels back makes
+    ``gaussian_pixels_touched`` / ``gaussian_noncontrib_pixels`` — and
+    therefore AGS's contribution-aware skipping decisions — invariant to
+    the radius/cull modes, keeping culling a pure speedup.
+    """
+    culled = tile_grid.culled_pixels
+    if culled is None:
+        return
+    touched += culled
+    if contribution_threshold > 0.0:
+        noncontrib += culled
+
+
 def render(
     model: GaussianModel,
     camera: Camera,
@@ -632,6 +740,9 @@ def render(
     dtype=None,
     backend: str | None = None,
     cache: ForwardCache | None = None,
+    radius: str | None = None,
+    cull: str | None = None,
+    perf=None,
 ) -> RasterizationResult:
     """Render ``model`` from ``camera``.
 
@@ -661,6 +772,18 @@ def render(
         cache: optional :class:`ForwardCache` to fill with the blending
             intermediates (bucketed backend only); the fused backward pass
             then reuses them instead of re-running the forward.
+        radius: splat bounding-radius mode, ``"opacity"`` (default) or
+            ``"sigma"`` — see :func:`repro.gaussians.projection.project_gaussians`.
+            Ignored when ``projection`` is supplied.
+        cull: (tile, Gaussian) pair-culling mode, ``"precise"`` (default)
+            or ``"aabb"`` — see :func:`repro.gaussians.tiles.assign_tiles`.
+            Ignored when ``tile_grid`` is supplied.  Both knobs are exact:
+            rendered images, statistics and gradients are bit-identical
+            across all four mode combinations; only the Gaussian tables
+            (and the recorded workloads) shrink.
+        perf: optional :class:`repro.perf.PerfRecorder`; tile assignment
+            feeds it the ``raster.pairs_total`` / ``raster.pairs_culled``
+            counters.
 
     Returns:
         A :class:`RasterizationResult`.
@@ -670,17 +793,23 @@ def render(
         raise ValueError(f"unknown render backend {backend!r}; expected one of {_RENDER_BACKENDS}")
     if cache is not None and backend != "bucketed":
         raise ValueError("cache= requires backend='bucketed'")
+    radius = radius or DEFAULT_RADIUS_MODE
+    if radius not in RADIUS_MODES:
+        raise ValueError(f"unknown radius mode {radius!r}; expected one of {RADIUS_MODES}")
+    cull = cull or DEFAULT_CULL_MODE
+    if cull not in CULL_MODES:
+        raise ValueError(f"unknown cull mode {cull!r}; expected one of {CULL_MODES}")
 
     intr = camera.intrinsics
     height, width = intr.height, intr.width
     if projection is None:
-        projection = project_gaussians(model, camera)
+        projection = project_gaussians(model, camera, radius=radius)
     if active_mask is not None:
         projection = dataclasses.replace(
             projection, visible=projection.visible & np.asarray(active_mask, dtype=bool)
         )
     if tile_grid is None:
-        tile_grid = assign_tiles(projection, width, height, tile_size)
+        tile_grid = assign_tiles(projection, width, height, tile_size, cull=cull, perf=perf)
 
     count = len(model)
     opac = model.alphas
@@ -708,6 +837,7 @@ def render(
         else:
             max_alpha, noncontrib, touched = stats.max_alpha, stats.noncontrib, stats.touched
             workloads = stats.workloads if stats.workloads is not None else []
+            _add_back_culled_stats(tile_grid, touched, noncontrib, contribution_threshold)
         return RasterizationResult(
             color=color,
             depth=depth,
@@ -722,6 +852,7 @@ def render(
             active_mask=mask_out,
             forward_cache=cache,
             forward_cache_generation=cache.generation if cache is not None else -1,
+            forward_cache_mode=cache.mode if cache is not None else "",
         )
 
     color = np.zeros((height, width, 3))
@@ -781,6 +912,7 @@ def render(
                 )
             )
 
+    _add_back_culled_stats(tile_grid, touched, noncontrib, contribution_threshold)
     return RasterizationResult(
         color=color,
         depth=depth,

@@ -5,6 +5,25 @@ a side).  Every visible Gaussian is assigned to all tiles its bounding box
 overlaps; the per-tile Gaussian lists are the "Gaussian tables" of the
 paper (Fig. 2, step 2) and are also the unit of workload the AGS hardware
 simulator reasons about.
+
+Exact sparse pair culling (``assign_tiles(..., cull="precise")``, the
+default): the bounding-box expansion over-approximates each splat's
+support, so many candidate (tile, Gaussian) pairs have an alpha below
+``ALPHA_MIN`` at *every* pixel center of the tile — the rasterizer zeroes
+them all, making the pair pure overhead.  The precise mode removes exactly
+those pairs with a vectorized conic-vs-tile test: it minimizes the convex
+conic quadratic ``q`` over the tile's pixel-center rectangle (closed form
+— zero if the splat center lies inside, otherwise the minimum over the
+four clamped edge parabolas) and drops the pair when even that lower bound
+keeps alpha below ``ALPHA_MIN``.  The cull is provably conservative, so
+rendered images, gradients and contribution statistics are bit-identical
+to the un-culled tables; only the workload shrinks.  The removed workload
+is reported via ``TileGrid.pairs_total`` / ``TileGrid.pairs_culled`` (and
+the ``raster.pairs_total`` / ``raster.pairs_culled`` perf counters), and
+``TileGrid.culled_pixels`` records, per Gaussian, how many would-have-been
+touched pixels the cull removed relative to the classic sigma-radius
+tables — the rasterizer adds these back into the contribution statistics
+so AGS's contribution-aware decisions are unchanged by culling.
 """
 
 from __future__ import annotations
@@ -13,11 +32,29 @@ import dataclasses
 
 import numpy as np
 
-from repro.gaussians.projection import ProjectionResult
+from repro.gaussians.projection import ALPHA_MIN, ProjectionResult
 
-__all__ = ["TILE_SIZE", "TileGrid", "GaussianTable", "build_tile_grid", "assign_tiles"]
+__all__ = [
+    "CULL_MODES",
+    "TILE_SIZE",
+    "TileGrid",
+    "GaussianTable",
+    "build_tile_grid",
+    "assign_tiles",
+]
 
 TILE_SIZE = 8
+
+# Pair-culling modes: "aabb" keeps every pair whose bounding box overlaps
+# the tile (the classic expansion); "precise" additionally removes pairs
+# whose alpha is provably below ALPHA_MIN everywhere in the tile.
+CULL_MODES = ("aabb", "precise")
+
+# Slack (in log-alpha) subtracted from the cull comparison so float
+# round-off in the closed-form minimum can never drop a pair whose alpha
+# sits exactly on the ALPHA_MIN boundary: a pair is culled only when its
+# best-case alpha is below ALPHA_MIN * (1 - ~2e-9).
+_CULL_SLACK = 4e-9
 
 
 @dataclasses.dataclass
@@ -41,7 +78,16 @@ class GaussianTable:
 
 @dataclasses.dataclass
 class TileGrid:
-    """The image partitioned into tiles with per-tile Gaussian tables."""
+    """The image partitioned into tiles with per-tile Gaussian tables.
+
+    Besides the tables, a grid records what pair culling removed:
+    ``pairs_total`` counts the (tile, Gaussian) pairs of the classic
+    sigma-radius bounding-box expansion (the workload baseline),
+    ``pairs_culled`` how many of them the radius/cull modes dropped, and
+    ``culled_pixels`` the per-Gaussian pixel counts of the dropped pairs
+    (all provably zero-alpha) that the statistics-recording render adds
+    back so contribution statistics are invariant to culling.
+    """
 
     width: int
     height: int
@@ -49,12 +95,24 @@ class TileGrid:
     tiles_x: int
     tiles_y: int
     tables: list[GaussianTable]
+    pairs_total: int = 0
+    pairs_culled: int = 0
+    culled_pixels: np.ndarray | None = dataclasses.field(default=None, repr=False)
+    cull: str = "aabb"
+    radius_mode: str = "sigma"
     # Per-shape pixel-offset cache shared by every consumer of this grid
     # (forward tiles, bucketed backward, stats recording).  A grid only has
     # a handful of distinct tile shapes (interior + ragged edge tiles), so
     # the meshgrid work happens once per shape instead of once per tile per
     # render/backward call.
     _shape_cache: dict = dataclasses.field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def mode_tag(self) -> str:
+        """Radius/cull mode pair, stamped onto forward caches built from
+        this grid so a cache populated under one culling configuration is
+        never silently consumed by a backward pass expecting another."""
+        return f"{self.radius_mode}:{self.cull}"
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -123,11 +181,95 @@ def build_tile_grid(width: int, height: int, tile_size: int = TILE_SIZE) -> tupl
     return tiles_x, tiles_y
 
 
+def _tile_aabb_spans(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    radius: np.ndarray,
+    tile_size: int,
+    tiles_x: int,
+    tiles_y: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Clipped per-Gaussian tile ranges of the ``radius`` bounding boxes."""
+    tx0 = np.maximum(np.floor_divide(cx - radius, tile_size), 0).astype(np.int64)
+    tx1 = np.minimum(np.floor_divide(cx + radius, tile_size), tiles_x - 1).astype(np.int64)
+    ty0 = np.maximum(np.floor_divide(cy - radius, tile_size), 0).astype(np.int64)
+    ty1 = np.minimum(np.floor_divide(cy + radius, tile_size), tiles_y - 1).astype(np.int64)
+    return tx0, tx1, ty0, ty1
+
+
+def _precise_keep_mask(
+    projection: ProjectionResult,
+    gid_pairs: np.ndarray,
+    tile_pairs: np.ndarray,
+    tiles_x: int,
+    width: int,
+    height: int,
+    tile_size: int,
+) -> np.ndarray:
+    """True for candidate pairs whose splat can reach ``ALPHA_MIN`` in the tile.
+
+    Minimizes the conic quadratic ``q(d) = a00 dx^2 + 2 a01 dx dy +
+    a11 dy^2`` (``d`` = pixel center minus splat center) over the tile's
+    pixel-center rectangle.  ``q`` is convex, so the minimum is zero when
+    the center lies inside the rectangle and otherwise sits on one of the
+    four edges, where it is a clamped 1-D parabola with a closed form.
+    The continuous minimum lower-bounds ``q`` at every pixel center, so
+    dropping pairs with ``q_min > tau`` (best-case alpha below
+    ``ALPHA_MIN``) is exact: no surviving-alpha pair is ever dropped.
+    """
+    conics = projection.conics
+    a00 = conics[gid_pairs, 0, 0]
+    a01 = conics[gid_pairs, 0, 1]
+    a11 = conics[gid_pairs, 1, 1]
+    cx = projection.means2d[gid_pairs, 0]
+    cy = projection.means2d[gid_pairs, 1]
+    tau = projection.tau
+    if tau is None:
+        # No opacity information: bound opacity by 1, still an exact cull.
+        tau_pairs = np.full(len(gid_pairs), -2.0 * np.log(ALPHA_MIN))
+    else:
+        tau_pairs = tau[gid_pairs]
+
+    tile_x = tile_pairs % tiles_x
+    tile_y = tile_pairs // tiles_x
+    x0 = tile_x * tile_size
+    y0 = tile_y * tile_size
+    # Pixel-center rectangle of the tile, in splat-offset coordinates.
+    lx = x0 + 0.5 - cx
+    ux = np.minimum(x0 + tile_size, width) - 0.5 - cx
+    ly = y0 + 0.5 - cy
+    uy = np.minimum(y0 + tile_size, height) - 0.5 - cy
+
+    inside = (lx <= 0.0) & (ux >= 0.0) & (ly <= 0.0) & (uy >= 0.0)
+
+    # Vertical edges dx = c: q(c, dy) minimized at dy = -a01 c / a11.
+    def _edge_x(c: np.ndarray) -> np.ndarray:
+        dy = np.clip(-a01 * c / a11, ly, uy)
+        return a00 * c * c + 2.0 * a01 * c * dy + a11 * dy * dy
+
+    # Horizontal edges dy = c: q(dx, c) minimized at dx = -a01 c / a00.
+    def _edge_y(c: np.ndarray) -> np.ndarray:
+        dx = np.clip(-a01 * c / a00, lx, ux)
+        return a00 * dx * dx + 2.0 * a01 * dx * c + a11 * c * c
+
+    q_min = np.minimum(
+        np.minimum(_edge_x(lx), _edge_x(ux)),
+        np.minimum(_edge_y(ly), _edge_y(uy)),
+    )
+    q_min = np.where(inside, 0.0, q_min)
+    # Degenerate conics (non-positive diagonal, non-finite entries) fall
+    # back to keeping the pair — conservative, never changes output.
+    well_posed = (a00 > 0.0) & (a11 > 0.0) & np.isfinite(q_min)
+    return ~well_posed | (q_min <= tau_pairs + 2.0 * _CULL_SLACK)
+
+
 def assign_tiles(
     projection: ProjectionResult,
     width: int,
     height: int,
     tile_size: int = TILE_SIZE,
+    cull: str = "precise",
+    perf=None,
 ) -> TileGrid:
     """Assign projected Gaussians to tiles and depth-sort every table.
 
@@ -135,15 +277,31 @@ def assign_tiles(
         projection: output of :func:`repro.gaussians.projection.project_gaussians`.
         width, height: image size in pixels.
         tile_size: tile edge length in pixels.
+        cull: ``"precise"`` (default) removes candidate pairs whose alpha
+            is provably below ``ALPHA_MIN`` at every pixel center of the
+            tile (exact — rendered output is unchanged); ``"aabb"`` keeps
+            the classic bounding-box expansion.
+        perf: optional :class:`repro.perf.PerfRecorder`; receives the
+            ``raster.pairs_total`` / ``raster.pairs_culled`` counters.
 
     Returns:
         A :class:`TileGrid` whose tables list the overlapping Gaussians of
         each tile sorted front-to-back.
     """
+    if cull not in CULL_MODES:
+        raise ValueError(f"unknown cull mode {cull!r}; expected one of {CULL_MODES}")
     tiles_x, tiles_y = build_tile_grid(width, height, tile_size)
     num_tiles = tiles_x * tiles_y
     visible_ids = np.nonzero(projection.visible)[0]
     depths = projection.depths
+    count = len(projection.visible)
+    radius_mode = getattr(projection, "radius_mode", "sigma")
+    # The fully legacy configuration skips all culling bookkeeping and
+    # reproduces the original tables (and statistics) exactly.
+    legacy = cull == "aabb" and radius_mode == "sigma"
+    pairs_total = 0
+    pairs_culled = 0
+    culled_pixels: np.ndarray | None = None
 
     # Vectorized (Gaussian, tile) pair expansion: per-Gaussian tile ranges,
     # one flat pair list, then a stable sort by tile.  Pairs are generated
@@ -154,10 +312,7 @@ def assign_tiles(
         cx = projection.means2d[visible_ids, 0]
         cy = projection.means2d[visible_ids, 1]
         radius = projection.radii[visible_ids]
-        tx0 = np.maximum(np.floor_divide(cx - radius, tile_size), 0).astype(np.int64)
-        tx1 = np.minimum(np.floor_divide(cx + radius, tile_size), tiles_x - 1).astype(np.int64)
-        ty0 = np.maximum(np.floor_divide(cy - radius, tile_size), 0).astype(np.int64)
-        ty1 = np.minimum(np.floor_divide(cy + radius, tile_size), tiles_y - 1).astype(np.int64)
+        tx0, tx1, ty0, ty1 = _tile_aabb_spans(cx, cy, radius, tile_size, tiles_x, tiles_y)
         span_x = np.maximum(tx1 - tx0 + 1, 0)
         span_y = np.maximum(ty1 - ty0 + 1, 0)
         counts = span_x * span_y
@@ -172,13 +327,61 @@ def assign_tiles(
             + np.repeat(tx0, counts)
             + local % span_x_rep
         )
+
+        if legacy:
+            pairs_total = total
+        else:
+            # Workload baseline: the classic sigma-radius expansion.  Its
+            # per-Gaussian pair and pixel counts have closed forms (the
+            # tile columns/rows of a clipped AABB are contiguous).
+            radii_sigma = projection.radii_sigma
+            if radius_mode == "sigma" or radii_sigma is None:
+                # The candidate spans already are the sigma baseline.
+                sx0, sx1, sy0, sy1 = tx0, tx1, ty0, ty1
+            else:
+                sx0, sx1, sy0, sy1 = _tile_aabb_spans(
+                    cx, cy, radii_sigma[visible_ids], tile_size, tiles_x, tiles_y
+                )
+            base_counts = np.maximum(sx1 - sx0 + 1, 0) * np.maximum(sy1 - sy0 + 1, 0)
+            base_width = np.maximum(np.minimum((sx1 + 1) * tile_size, width) - sx0 * tile_size, 0)
+            base_height = np.maximum(np.minimum((sy1 + 1) * tile_size, height) - sy0 * tile_size, 0)
+            base_pixels = np.where(base_counts > 0, base_width * base_height, 0)
+            pairs_total = int(base_counts.sum())
+
+            if cull == "precise" and total:
+                keep = _precise_keep_mask(
+                    projection, gid_pairs, tile_pairs, tiles_x, width, height, tile_size
+                )
+                gid_pairs = gid_pairs[keep]
+                tile_pairs = tile_pairs[keep]
+            pairs_culled = pairs_total - len(gid_pairs)
+
+            # Pixels of the dropped (all provably zero-alpha) pairs, per
+            # Gaussian: the stats render adds them back so contribution
+            # statistics match the un-culled tables exactly.
+            tile_x = tile_pairs % tiles_x
+            tile_y = tile_pairs // tiles_x
+            tile_pix = (
+                np.minimum((tile_x + 1) * tile_size, width) - tile_x * tile_size
+            ) * (np.minimum((tile_y + 1) * tile_size, height) - tile_y * tile_size)
+            survived = np.bincount(gid_pairs, weights=tile_pix, minlength=count)
+            culled_pixels = np.zeros(count, dtype=np.int64)
+            culled_pixels[visible_ids] = base_pixels
+            culled_pixels -= survived.astype(np.int64)
+
         order = np.argsort(tile_pairs, kind="stable")
         tile_sorted = tile_pairs[order]
         gid_sorted = gid_pairs[order]
         bounds = np.searchsorted(tile_sorted, np.arange(num_tiles + 1))
     else:
+        if not legacy:
+            culled_pixels = np.zeros(count, dtype=np.int64)
         gid_sorted = np.zeros(0, dtype=np.int64)
         bounds = np.zeros(num_tiles + 1, dtype=np.int64)
+
+    if perf is not None:
+        perf.count("raster.pairs_total", pairs_total)
+        perf.count("raster.pairs_culled", pairs_culled)
 
     tables: list[GaussianTable] = []
     empty_ids = np.zeros(0, dtype=np.int64)
@@ -210,4 +413,9 @@ def assign_tiles(
         tiles_x=tiles_x,
         tiles_y=tiles_y,
         tables=tables,
+        pairs_total=pairs_total,
+        pairs_culled=pairs_culled,
+        culled_pixels=culled_pixels,
+        cull=cull,
+        radius_mode=radius_mode,
     )

@@ -17,9 +17,36 @@ from repro.hardware.dram import DramModel
 from repro.hardware.fc_engine import FcDetectionEngine
 from repro.hardware.mapping_engine import MappingEngine
 from repro.hardware.tracking_engine import PoseTrackingEngine
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.workloads import FrameTrace, SequenceTrace
 
-__all__ = ["FrameTiming", "SimulationResult", "AgsAccelerator"]
+__all__ = ["FrameTiming", "SimulationResult", "AgsAccelerator", "record_trace_counters"]
+
+
+def record_trace_counters(perf: PerfRecorder, trace: SequenceTrace) -> None:
+    """Feed a trace's workload magnitudes into the ``hw.*`` counters.
+
+    Shared by every platform model so pair culling's effect on the
+    simulated workloads — fewer Gaussian-table entries, fewer blended
+    (pixel, Gaussian) pairs — is observable in perf reports regardless of
+    which platform consumed the trace.
+    """
+    pairs = 0
+    table_entries = 0
+    renders = 0
+    for frame in trace.frames:
+        for render in frame.tracking.refine_renders:
+            pairs += render.pairs_computed
+            table_entries += render.gaussians_rendered
+            renders += 1
+        for render in frame.mapping.renders:
+            pairs += render.pairs_computed
+            table_entries += render.gaussians_rendered
+            renders += 1
+    perf.count("hw.frames", len(trace.frames))
+    perf.count("hw.render_iterations", renders)
+    perf.count("hw.render_pairs", pairs)
+    perf.count("hw.table_entries", table_entries)
 
 
 @dataclasses.dataclass
@@ -73,10 +100,17 @@ class SimulationResult:
 
 
 class AgsAccelerator:
-    """The AGS architecture performance model."""
+    """The AGS architecture performance model.
 
-    def __init__(self, config: AgsHardwareConfig) -> None:
+    ``perf=`` threads a :class:`repro.perf.PerfRecorder` through the
+    simulation: per-engine wall-clock under the ``hw/ags/fc_engine`` /
+    ``hw/ags/tracking_engine`` / ``hw/ags/mapping_engine`` timers and the
+    shared ``hw.*`` trace-magnitude counters.
+    """
+
+    def __init__(self, config: AgsHardwareConfig, perf: PerfRecorder | None = None) -> None:
         self.config = config
+        self.perf = perf or NULL_RECORDER
         self.dram = DramModel(config.dram)
         self.fc_engine = FcDetectionEngine(config, self.dram)
         self.tracking_engine = PoseTrackingEngine(config, self.dram)
@@ -85,10 +119,15 @@ class AgsAccelerator:
     # ------------------------------------------------------------------
     def frame_timing(self, frame: FrameTrace, num_macroblocks: int) -> FrameTiming:
         """Latency of one frame on the accelerator."""
-        fc_timing = self.fc_engine.detect(num_macroblocks if frame.covisibility is not None else 0)
-        fc_seconds = fc_timing.total_seconds(self.config.frequency_hz)
-        tracking = self.tracking_engine.frame_timing(frame.tracking)
-        mapping = self.mapping_engine.frame_timing(frame.mapping)
+        with self.perf.section("fc_engine"):
+            fc_timing = self.fc_engine.detect(
+                num_macroblocks if frame.covisibility is not None else 0
+            )
+            fc_seconds = fc_timing.total_seconds(self.config.frequency_hz)
+        with self.perf.section("tracking_engine"):
+            tracking = self.tracking_engine.frame_timing(frame.tracking)
+        with self.perf.section("mapping_engine"):
+            mapping = self.mapping_engine.frame_timing(frame.mapping)
 
         if self.config.enable_overlap:
             # Steady state of the pipelined execution (Fig. 9): tracking of
@@ -109,12 +148,15 @@ class AgsAccelerator:
     # ------------------------------------------------------------------
     def simulate(self, trace: SequenceTrace, macroblock_size: int = 8) -> SimulationResult:
         """Simulate a full sequence trace."""
-        self.dram.reset()
-        num_macroblocks = (trace.width // macroblock_size) * (trace.height // macroblock_size)
-        result = SimulationResult(
-            platform=self.config.name, sequence=trace.sequence, algorithm=trace.algorithm
-        )
-        for frame in trace.frames:
-            result.frames.append(self.frame_timing(frame, num_macroblocks))
-        result.dram_bytes = self.dram.stats.total_bytes
+        with self.perf.section("hw/ags"):
+            self.dram.reset()
+            num_macroblocks = (trace.width // macroblock_size) * (trace.height // macroblock_size)
+            result = SimulationResult(
+                platform=self.config.name, sequence=trace.sequence, algorithm=trace.algorithm
+            )
+            for frame in trace.frames:
+                result.frames.append(self.frame_timing(frame, num_macroblocks))
+            result.dram_bytes = self.dram.stats.total_bytes
+        record_trace_counters(self.perf, trace)
+        self.perf.count("hw.dram_bytes", result.dram_bytes)
         return result

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.hardware.accelerator import FrameTiming, SimulationResult
+from repro.hardware.accelerator import FrameTiming, SimulationResult, record_trace_counters
 from repro.hardware.config import GpuConfig
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.hardware.costs import (
     BYTES_PER_GAUSSIAN_FEATURES,
     BYTES_PER_GAUSSIAN_GRADIENTS,
@@ -41,10 +42,16 @@ _FLOPS_PER_SAD_EVALUATION = 3.0 * 64.0  # abs-diff + accumulate over an 8x8 bloc
 
 
 class GpuPlatform:
-    """Latency / energy model of a GPU platform."""
+    """Latency / energy model of a GPU platform.
 
-    def __init__(self, config: GpuConfig) -> None:
+    ``perf=`` threads a :class:`repro.perf.PerfRecorder` through
+    :meth:`simulate`: wall-clock under the ``hw/gpu`` timer plus the
+    shared ``hw.*`` trace-magnitude counters.
+    """
+
+    def __init__(self, config: GpuConfig, perf: PerfRecorder | None = None) -> None:
         self.config = config
+        self.perf = perf or NULL_RECORDER
 
     # ------------------------------------------------------------------
     def iteration_flops(self, workload: RenderWorkload) -> float:
@@ -132,15 +139,18 @@ class GpuPlatform:
 
     def simulate(self, trace: SequenceTrace) -> SimulationResult:
         """Latency of a full sequence trace on the GPU."""
-        result = SimulationResult(
-            platform=self.config.name, sequence=trace.sequence, algorithm=trace.algorithm
-        )
-        total_bytes = 0.0
-        for frame in trace.frames:
-            result.frames.append(self.frame_timing(frame))
-            total_bytes += sum(self.iteration_bytes(r) for r in frame.tracking.refine_renders)
-            total_bytes += sum(self.iteration_bytes(r) for r in frame.mapping.renders)
-        result.dram_bytes = total_bytes
+        with self.perf.section("hw/gpu"):
+            result = SimulationResult(
+                platform=self.config.name, sequence=trace.sequence, algorithm=trace.algorithm
+            )
+            total_bytes = 0.0
+            for frame in trace.frames:
+                result.frames.append(self.frame_timing(frame))
+                total_bytes += sum(self.iteration_bytes(r) for r in frame.tracking.refine_renders)
+                total_bytes += sum(self.iteration_bytes(r) for r in frame.mapping.renders)
+            result.dram_bytes = total_bytes
+        record_trace_counters(self.perf, trace)
+        self.perf.count("hw.dram_bytes", result.dram_bytes)
         return result
 
     # ------------------------------------------------------------------

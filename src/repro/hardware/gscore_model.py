@@ -11,8 +11,9 @@ and a GSCore-Server (paired with the A100).
 
 from __future__ import annotations
 
-from repro.hardware.accelerator import FrameTiming, SimulationResult
+from repro.hardware.accelerator import FrameTiming, SimulationResult, record_trace_counters
 from repro.hardware.config import GpuConfig
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.hardware.costs import (
     CYCLES_ALPHA_STAGE,
     CYCLES_BLEND_STAGE,
@@ -36,8 +37,10 @@ class GsCorePlatform:
         num_rasterizer_lanes: int = 256,
         frequency_mhz: float = 1000.0,
         subtile_skip_fraction: float = 0.3,
+        perf: PerfRecorder | None = None,
     ) -> None:
         self.gpu = GpuPlatform(gpu_config)
+        self.perf = perf or NULL_RECORDER
         self.name = name or f"GSCore-{gpu_config.name}"
         self.num_rasterizer_lanes = num_rasterizer_lanes
         self.frequency_hz = frequency_mhz * 1e6
@@ -86,13 +89,18 @@ class GsCorePlatform:
 
     def simulate(self, trace: SequenceTrace) -> SimulationResult:
         """Latency of a full sequence trace."""
-        result = SimulationResult(
-            platform=self.name, sequence=trace.sequence, algorithm=trace.algorithm
-        )
-        total_bytes = 0.0
-        for frame in trace.frames:
-            result.frames.append(self.frame_timing(frame))
-            total_bytes += sum(self.gpu.iteration_bytes(r) for r in frame.tracking.refine_renders)
-            total_bytes += sum(self.gpu.iteration_bytes(r) for r in frame.mapping.renders)
-        result.dram_bytes = total_bytes
+        with self.perf.section("hw/gscore"):
+            result = SimulationResult(
+                platform=self.name, sequence=trace.sequence, algorithm=trace.algorithm
+            )
+            total_bytes = 0.0
+            for frame in trace.frames:
+                result.frames.append(self.frame_timing(frame))
+                total_bytes += sum(
+                    self.gpu.iteration_bytes(r) for r in frame.tracking.refine_renders
+                )
+                total_bytes += sum(self.gpu.iteration_bytes(r) for r in frame.mapping.renders)
+            result.dram_bytes = total_bytes
+        record_trace_counters(self.perf, trace)
+        self.perf.count("hw.dram_bytes", result.dram_bytes)
         return result

@@ -215,6 +215,7 @@ class GaussianMapper:
                     record_workloads=collect_workload or want_contributions,
                     record_contributions=want_contributions,
                     cache=cache,
+                    perf=self.perf,
                 )
             color_loss, color_grad = l1_loss(result.color, view_color)
             valid = view_depth > 1e-6

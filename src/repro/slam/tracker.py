@@ -149,6 +149,7 @@ class GaussianPoseTracker:
                     record_workloads=collect_workload,
                     record_contributions=False,
                     cache=cache,
+                    perf=self.perf,
                 )
             mask = result.silhouette > config.silhouette_threshold
 

@@ -245,3 +245,42 @@ def test_gpu_energy_exceeds_accelerator_energy(baseline_run, ags_run):
     ags_result = AgsAccelerator(AGS_SERVER).simulate(ags_run.trace)
     ags_energy = energy_report(AGS_SERVER, ags_run.trace, ags_result)
     assert a100.energy_joules(gpu_result) > ags_energy.total_joules
+
+
+# --------------------------- perf instrumentation -----------------------------
+def test_simulators_record_perf_timers_and_counters(baseline_run, ags_run):
+    from repro.perf import PerfRecorder
+
+    perf = PerfRecorder()
+    GpuPlatform(NVIDIA_A100, perf=perf).simulate(baseline_run.trace)
+    GsCorePlatform(NVIDIA_A100, perf=perf).simulate(baseline_run.trace)
+    AgsAccelerator(AGS_SERVER, perf=perf).simulate(ags_run.trace)
+
+    timers = perf.timers.as_dict()
+    for path in ("hw/gpu", "hw/gscore", "hw/ags", "hw/ags/fc_engine",
+                 "hw/ags/tracking_engine", "hw/ags/mapping_engine"):
+        assert path in timers, path
+
+    counters = perf.counters.as_dict()
+    assert counters["hw.frames"] == 2 * len(baseline_run.trace.frames) + len(
+        ags_run.trace.frames
+    )
+    assert counters["hw.render_pairs"] > 0
+    assert counters["hw.table_entries"] > 0
+    assert counters["hw.dram_bytes"] > 0
+
+
+def test_pair_culling_shrinks_simulated_workload(ags_run):
+    """The hardware model's cost is monotone in the Gaussian-table size."""
+    from repro.perf import PerfRecorder
+
+    trace = ags_run.trace
+    shrunk = scale_trace(trace, pixel_factor=1.0, gaussian_factor=0.6)
+    perf_full, perf_shrunk = PerfRecorder(), PerfRecorder()
+    full = AgsAccelerator(AGS_SERVER, perf=perf_full).simulate(trace)
+    less = AgsAccelerator(AGS_SERVER, perf=perf_shrunk).simulate(shrunk)
+    assert less.total_seconds <= full.total_seconds
+    assert (
+        perf_shrunk.counters.as_dict()["hw.table_entries"]
+        < perf_full.counters.as_dict()["hw.table_entries"]
+    )
