@@ -1,0 +1,195 @@
+"""Robustness benchmark: adversarial scenarios + tracking-health ablation.
+
+Exercises the robustness grid of :mod:`repro.eval.robustness` on the
+benchmark sequence and records the scenario degradation and the
+fallback-ladder ablation into the ``BENCH_robustness.json``
+perf-trajectory file at the repo root.
+
+Two hard invariants are verified before anything is written:
+
+* **Clean-stream neutrality** — with the tracking-health monitor armed,
+  every fallback-capable system produces a bit-identical trajectory to
+  the disarmed run on the clean stream (the monitor observes healthy
+  frames without perturbing them).
+* **Degraded-stream wins** — on at least two degraded scenarios each,
+  the armed fallback ladder achieves measurably lower aligned ATE than
+  the disarmed run for both SplaTAM and AGS.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py           # write
+    PYTHONPATH=src python benchmarks/bench_robustness.py --gate    # guard
+
+``--gate`` additionally refuses to overwrite an existing
+``BENCH_robustness.json`` when a previously met target is now missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.robustness import (  # noqa: E402
+    ABLATION_SCENARIOS,
+    FALLBACK_SYSTEMS,
+    fallback_ablation,
+    format_robustness_report,
+    robustness_grid,
+)
+from repro.eval.service import RunKey, default_service  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_robustness.json"
+
+SEQUENCE = "desk"
+NUM_FRAMES = 10
+TRACKING_ITERATIONS = 10
+MAPPING_ITERATIONS = 3
+
+# Systems with a tracking-health monitor: clean-stream neutrality must
+# hold for every one of them.
+MONITORED_SYSTEMS = ("splatam", "gaussian-slam", "ags")
+
+# Minimum aligned-ATE reduction (cm) for a scenario to count as a win —
+# well above run-to-run noise (runs are deterministic; this guards
+# against counting a rounding-level difference as a result).
+WIN_MARGIN_CM = 0.25
+
+
+def _clean_key(algorithm: str, fallbacks: bool) -> RunKey:
+    return RunKey(
+        algorithm=algorithm,
+        sequence=SEQUENCE,
+        num_frames=NUM_FRAMES,
+        tracking_iterations=TRACKING_ITERATIONS,
+        mapping_iterations=MAPPING_ITERATIONS,
+        fallbacks=fallbacks,
+    )
+
+
+def _trajectories_identical(a, b) -> bool:
+    if len(a.frames) != len(b.frames):
+        return False
+    for fa, fb in zip(a.frames, b.frames):
+        if not np.array_equal(fa.estimated_pose.quat, fb.estimated_pose.quat):
+            return False
+        if not np.array_equal(fa.estimated_pose.trans, fb.estimated_pose.trans):
+            return False
+    return True
+
+
+def verify_clean_neutrality() -> dict[str, bool]:
+    """Armed vs disarmed monitor on the clean stream: bit-identical?"""
+    service = default_service()
+    identical = {}
+    for system in MONITORED_SYSTEMS:
+        armed = service.run(_clean_key(system, fallbacks=True))
+        disarmed = service.run(_clean_key(system, fallbacks=False))
+        identical[system] = bool(
+            _trajectories_identical(armed, disarmed)
+            and armed.frames_degraded == 0
+            and armed.total_fallbacks == 0
+        )
+    return identical
+
+
+def count_wins(ablation: dict) -> dict[str, dict]:
+    """Per system: scenarios where the armed ladder reduced aligned ATE."""
+    wins: dict[str, dict] = {system: {"scenarios": [], "count": 0} for system in FALLBACK_SYSTEMS}
+    for scenario, entries in ablation["rows"].items():
+        for system, metrics in entries.items():
+            if metrics["ate_improvement_cm"] > WIN_MARGIN_CM:
+                wins[system]["scenarios"].append(scenario)
+                wins[system]["count"] += 1
+    return wins
+
+
+def build_results() -> dict:
+    start = time.perf_counter()
+    grid = robustness_grid(sequence=SEQUENCE, num_frames=NUM_FRAMES)
+    ablation = fallback_ablation(sequence=SEQUENCE, num_frames=NUM_FRAMES)
+    neutrality = verify_clean_neutrality()
+    elapsed = time.perf_counter() - start
+
+    wins = count_wins(ablation)
+    targets = {
+        "clean-stream bit-identical with monitor armed vs disarmed": all(neutrality.values()),
+    }
+    for system in FALLBACK_SYSTEMS:
+        targets[f"fallback ladder reduces aligned ATE on >=2 scenarios ({system})"] = (
+            wins[system]["count"] >= 2
+        )
+    return {
+        "benchmark": "robustness",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "sequence": SEQUENCE,
+            "num_frames": NUM_FRAMES,
+            "tracking_iterations": TRACKING_ITERATIONS,
+            "mapping_iterations": MAPPING_ITERATIONS,
+            "ablation_scenarios": list(ABLATION_SCENARIOS),
+            "win_margin_cm": WIN_MARGIN_CM,
+        },
+        "elapsed_seconds": round(elapsed, 2),
+        "grid": grid,
+        "ablation": ablation,
+        "clean_bit_identical": neutrality,
+        "fallback_wins": wins,
+        "targets_met": targets,
+        "report": format_robustness_report(grid, ablation),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (and keep the old file) when a previously met target is missed",
+    )
+    args = parser.parse_args(argv)
+
+    results = build_results()
+    print(results["report"])
+    print()
+    for target, met in results["targets_met"].items():
+        print(f"  target {target}: {'MET' if met else 'MISSED'}")
+
+    if not results["targets_met"][
+        "clean-stream bit-identical with monitor armed vs disarmed"
+    ]:
+        print("\nCLEAN-STREAM NEUTRALITY VIOLATED — refusing to write results", file=sys.stderr)
+        return 1
+
+    if args.gate and args.output.exists():
+        previous = json.loads(args.output.read_text())
+        regressions = [
+            target
+            for target, met in previous.get("targets_met", {}).items()
+            if met and not results["targets_met"].get(target, False)
+        ]
+        if regressions:
+            print(
+                "\nROBUSTNESS GATE FAILED — keeping previous BENCH_robustness.json:",
+                file=sys.stderr,
+            )
+            for target in regressions:
+                print(f"  previously met, now missed: {target}", file=sys.stderr)
+            return 1
+        print("robustness gate PASSED")
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

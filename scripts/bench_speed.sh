@@ -23,3 +23,7 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_culling.py --gate "$@"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_speed_pipeline.py --gate "$@"
+# Robustness grid: correctness-gated (clean-stream bit-identity and the
+# fallback-ablation wins), not timing-gated, so it takes no extra args.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_robustness.py --gate

@@ -35,8 +35,15 @@ echo "no tracked __pycache__/*.pyc files"
 echo "== tier-1 test suite =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
+echo "== robustness smoke grid =="
+# One scenario, two systems, few frames: exercises the full scenario ->
+# health-monitor -> fallback-ablation path on every push.  The full
+# matrix runs in the slow lane (tests/test_robustness.py -m slow) and in
+# benchmarks/bench_robustness.py.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.eval.robustness --smoke
+
 if [[ "$RUN_SLOW" == "1" ]]; then
-    echo "== slow lane (randomized equivalence sweeps) =="
+    echo "== slow lane (randomized equivalence sweeps + full robustness matrix) =="
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m slow
 fi
 

@@ -33,6 +33,7 @@ from repro.core.tracking import MovementAdaptiveTracker
 from repro.gaussians.camera import Intrinsics
 from repro.gaussians.model import GaussianModel
 from repro.perf import PerfRecorder
+from repro.slam.health import HealthConfig, TrackingHealthMonitor
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import MapperConfig
 from repro.slam.results import FrameResult
@@ -54,6 +55,10 @@ class _AgsTrackedFrame:
     workload: TrackingWorkload
     tracking_cov: float | None
     tracking_sad_evaluations: int
+    health_events: list = dataclasses.field(default_factory=list)
+    degraded: bool = False
+    fallbacks_used: int = 0
+    relocalized: bool = False
 
 
 class AgsSlam(SessionRunner):
@@ -74,6 +79,7 @@ class AgsSlam(SessionRunner):
         collect_trace: bool = True,
         perf: PerfRecorder | None = None,
         execution: str = "sequential",
+        health_config: HealthConfig | None = None,
     ) -> None:
         self.config = config or AGSConfig()
         super().__init__(
@@ -92,6 +98,7 @@ class AgsSlam(SessionRunner):
             intrinsics, self.config, mapper_config, perf=self.perf
         )
         self.keyframes = KeyframeManager(max_keyframes=keyframe_window)
+        self.health = TrackingHealthMonitor(health_config or HealthConfig(), intrinsics)
         self.anchor_first_pose_to_gt = anchor_first_pose_to_gt
         self.model = GaussianModel.empty()
         self._prev_frame = None
@@ -105,6 +112,7 @@ class AgsSlam(SessionRunner):
         self.tracking.reset()
         self.mapping.reset()
         self.keyframes.reset()
+        self.health.reset()
         self._prev_frame = None
         self._prev_pose = None
 
@@ -117,6 +125,7 @@ class AgsSlam(SessionRunner):
             "covisibility": self.covisibility.state_dict(),
             "tracking": self.tracking.state_dict(),
             "mapping": self.mapping.state_dict(),
+            "health": self.health.state_dict(),
             "prev_pose": pack_pose(self._prev_pose),
             "prev_frame": (
                 None
@@ -139,6 +148,7 @@ class AgsSlam(SessionRunner):
         self.covisibility.load_state_dict(payload["covisibility"])
         self.tracking.load_state_dict(payload["tracking"])
         self.mapping.load_state_dict(payload["mapping"])
+        self.health.load_state_dict(payload["health"])
         self._prev_pose = unpack_pose(payload["prev_pose"])
         prev_frame = payload["prev_frame"]
         self._prev_frame = (
@@ -183,6 +193,10 @@ class AgsSlam(SessionRunner):
         tracking_cov = tracking_measurement.value if tracking_measurement else None
 
         # -------- Step 2: movement-adaptive tracking ----------------------
+        health_events: list = []
+        degraded = False
+        fallbacks_used = 0
+        relocalized = False
         if index == 0 or self._prev_frame is None:
             pose = frame.gt_pose.copy() if self.anchor_first_pose_to_gt else None
             if pose is None:
@@ -194,23 +208,53 @@ class AgsSlam(SessionRunner):
             refine_iterations = 0
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
         else:
+            prev_frame = self._prev_frame
+            prev_pose = self._prev_pose
             with perf.section("ags/tracking"):
                 outcome = self.tracking.track(
                     self._mapped_model,
-                    self._prev_frame.gray,
-                    self._prev_frame.depth,
-                    self._prev_pose,
+                    prev_frame.gray,
+                    prev_frame.depth,
+                    prev_pose,
                     frame.color,
                     frame.depth,
                     gray,
                     covisibility=tracking_cov,
                     collect_workload=self.collect_trace,
                 )
-            pose = outcome.pose
-            used_coarse_only = outcome.used_coarse_only
-            tracking_loss = outcome.tracking_loss
-            refine_iterations = outcome.refine_iterations
-            tracking_workload = outcome.workload
+            moderated = self.health.moderate(
+                index,
+                pose=outcome.pose,
+                loss=outcome.tracking_loss,
+                iterations=outcome.refine_iterations,
+                workload=outcome.workload,
+                prev_pose=prev_pose,
+                retrack=lambda seed: self._retrack(frame, seed),
+                feature_pose=lambda: self.health.feature_pose(
+                    index,
+                    prev_frame.gray,
+                    prev_frame.depth,
+                    gray,
+                    frame.depth,
+                    prev_pose,
+                    perf=perf,
+                ),
+                perf=perf,
+            )
+            pose = moderated.pose
+            tracking_loss = moderated.loss
+            refine_iterations = moderated.iterations
+            tracking_workload = moderated.workload
+            health_events = moderated.events
+            degraded = moderated.degraded
+            fallbacks_used = moderated.fallbacks_used
+            relocalized = moderated.relocalized
+            # The coarse estimate was overruled: the frame can no longer
+            # claim the skip, and the velocity prior must extrapolate from
+            # the corrected pose, not the rejected one.
+            used_coarse_only = outcome.used_coarse_only and not fallbacks_used
+            if fallbacks_used:
+                self.tracking.update_velocity_prior(pose, prev_pose)
         perf.count("tracking.refine_iterations", refine_iterations)
 
         self._prev_frame = frame
@@ -225,7 +269,37 @@ class AgsSlam(SessionRunner):
             tracking_sad_evaluations=(
                 tracking_measurement.sad_evaluations if tracking_measurement else 0
             ),
+            health_events=health_events,
+            degraded=degraded,
+            fallbacks_used=fallbacks_used,
+            relocalized=relocalized,
         )
+
+    def _retrack(self, frame, seed_pose):
+        """Fallback retry: full-budget photometric refinement from ``seed_pose``.
+
+        A flagged frame bypasses the covisibility-scaled iteration budget:
+        the retry runs the fine tracker at its full configured budget plus
+        ``retry_iterations``, since a frame the monitor flagged is exactly
+        the kind the movement-adaptive schedule under-provisioned.
+        """
+        model = self._mapped_model()
+        if len(model) == 0:
+            return seed_pose, 0.0, 0, TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
+        iterations = (
+            self.tracking.fine_tracker.config.num_iterations
+            + self.health.config.retry_iterations
+        )
+        with self.perf.section("ags/tracking"):
+            outcome = self.tracking.fine_tracker.track(
+                model,
+                frame.color,
+                frame.depth,
+                seed_pose,
+                num_iterations=iterations,
+                collect_workload=self.collect_trace,
+            )
+        return outcome.pose, outcome.final_loss, outcome.iterations_run, outcome.workload
 
     def _map(self, index: int, frame, tracked: _AgsTrackedFrame) -> tuple[FrameResult, FrameTrace]:
         """Mapping sub-stage: keyframe covisibility + contribution-aware mapping.
@@ -279,6 +353,9 @@ class AgsSlam(SessionRunner):
             covisibility=tracking_cov,
             num_gaussians=len(self.model),
             gaussians_skipped=mapping_outcome.gaussians_skipped,
+            degraded=tracked.degraded,
+            fallbacks_used=tracked.fallbacks_used,
+            relocalized=tracked.relocalized,
         )
         frame_trace = FrameTrace(
             frame_index=index,
@@ -287,5 +364,6 @@ class AgsSlam(SessionRunner):
             covisibility=tracking_cov,
             codec_sad_evaluations=sad_evaluations,
             num_gaussians=len(self.model),
+            health_events=list(tracked.health_events),
         )
         return frame_result, frame_trace

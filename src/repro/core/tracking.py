@@ -74,6 +74,16 @@ class MovementAdaptiveTracker:
 
         self._last_relative = unpack_pose(state["last_relative"])
 
+    def update_velocity_prior(self, pose: Pose, prev_pose: Pose) -> None:
+        """Re-derive the velocity prior after a fallback corrected the pose.
+
+        The prior is normally updated inside :meth:`track`; when the
+        tracking-health ladder overrides the pose afterwards, the stored
+        relative motion would extrapolate from the rejected estimate.
+        Only called when a fallback fired, so clean runs are untouched.
+        """
+        self._last_relative = pose.relative_to(prev_pose)
+
     # ------------------------------------------------------------------
     def track(
         self,

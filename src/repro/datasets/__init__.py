@@ -19,18 +19,32 @@ from repro.datasets.registry import (
     load_sequence,
     sequences_for_dataset,
 )
+from repro.datasets.scenarios import (
+    SCENARIOS,
+    ScenarioSource,
+    ScenarioSpec,
+    apply_scenario,
+    available_scenarios,
+    get_scenario,
+)
 
 __all__ = [
     "FrameSource",
     "RGBDFrame",
+    "SCENARIOS",
     "SEQUENCE_SPECS",
+    "ScenarioSource",
+    "ScenarioSpec",
     "SceneSpec",
     "SequenceSpec",
     "SyntheticSequence",
     "TrajectorySpec",
+    "apply_scenario",
+    "available_scenarios",
     "available_sequences",
     "build_scene",
     "generate_trajectory",
+    "get_scenario",
     "load_sequence",
     "sequences_for_dataset",
 ]

@@ -21,6 +21,18 @@ __all__ = [
     "configure_default_service",
     "default_service",
     "experiments",
+    "fallback_ablation",
     "format_table",
+    "robustness_grid",
     "run_slam",
 ]
+
+
+def __getattr__(name):
+    # Lazy: keeps `python -m repro.eval.robustness` free of the
+    # double-import RuntimeWarning while still exporting the grid API.
+    if name in ("fallback_ablation", "robustness_grid"):
+        from repro.eval import robustness
+
+        return getattr(robustness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

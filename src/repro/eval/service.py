@@ -87,6 +87,13 @@ class RunKey:
     # Session executor mode: "sequential" or "pipelined" (bit-identical
     # results; pipelined overlaps tracking t+1 with mapping t).
     execution: str = "sequential"
+    # Adversarial stream scenario applied to the input sequence (a name
+    # from repro.datasets.scenarios.SCENARIOS), or None for the clean
+    # stream.  "clean" and None produce identical runs but distinct keys.
+    scenario: str | None = None
+    # Whether the tracking-health monitor's fallback ladder is armed.
+    # Disabling it is the ablation arm of the robustness grid.
+    fallbacks: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in KNOWN_ALGORITHMS:
@@ -97,6 +104,24 @@ class RunKey:
             raise ValueError(
                 f"unknown execution mode '{self.execution}'; expected one of {EXECUTION_MODES}"
             )
+        if self.num_frames < 1:
+            raise ValueError(f"num_frames must be >= 1, got {self.num_frames}")
+        if self.tracking_iterations < 0 or self.mapping_iterations < 0:
+            raise ValueError(
+                "iteration counts must be >= 0, got "
+                f"tracking={self.tracking_iterations} mapping={self.mapping_iterations}"
+            )
+        if self.scenario is not None:
+            # Imported lazily: key construction must stay cheap and the
+            # datasets package heavier than this module.  Validation is
+            # still eager — a typo fails at key build, not mid-grid.
+            from repro.datasets.scenarios import available_scenarios
+
+            if self.scenario not in available_scenarios():
+                raise ValueError(
+                    f"unknown scenario '{self.scenario}'; "
+                    f"expected one of {available_scenarios()}"
+                )
 
     @classmethod
     def from_settings(cls, algorithm: str, sequence: str, settings, **overrides) -> "RunKey":
@@ -127,6 +152,10 @@ class RunKey:
         ]
         if self.execution != "sequential":
             parts.append(f"ex-{self.execution}")
+        if self.scenario is not None:
+            parts.append(f"sc-{self.scenario}")
+        if not self.fallbacks:
+            parts.append("nofb")
         return "-".join(parts).replace("/", "_")
 
 
@@ -137,16 +166,21 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
     # a hard dependency for callers that only build keys.
     from repro.core import AGSConfig, AgsSlam
     from repro.datasets import load_sequence
+    from repro.datasets.scenarios import apply_scenario
     from repro.slam import (
         DroidLiteSlam,
         GaussianSlam,
         GaussianSlamConfig,
+        HealthConfig,
         OrbLiteSlam,
         SplaTam,
         SplaTamConfig,
     )
 
-    sequence = load_sequence(key.sequence, num_frames=key.num_frames)
+    sequence = apply_scenario(
+        load_sequence(key.sequence, num_frames=key.num_frames), key.scenario
+    )
+    health = HealthConfig(enabled=key.fallbacks)
     with perf.section(f"eval/{key.algorithm}/{key.sequence}"):
         if key.algorithm == "splatam":
             system = SplaTam(
@@ -154,6 +188,7 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 SplaTamConfig(
                     tracking_iterations=key.tracking_iterations,
                     mapping_iterations=key.mapping_iterations,
+                    health=health,
                 ),
                 perf=perf,
                 execution=key.execution,
@@ -165,6 +200,7 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 GaussianSlamConfig(
                     tracking_iterations=key.tracking_iterations,
                     mapping_iterations=key.mapping_iterations,
+                    health=health,
                 ),
                 perf=perf,
                 execution=key.execution,
@@ -191,6 +227,7 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 mapping_iterations=key.mapping_iterations,
                 perf=perf,
                 execution=key.execution,
+                health_config=health,
             )
             return system.run(sequence, num_frames=key.num_frames)
         if key.algorithm == "droid-splatam":
@@ -209,6 +246,7 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
                 mapping_iterations=key.mapping_iterations,
                 perf=perf,
                 execution=key.execution,
+                health_config=health,
             )
             result = system.run(sequence, num_frames=key.num_frames)
             result.algorithm = "droid-splatam"

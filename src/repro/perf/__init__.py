@@ -28,11 +28,17 @@ from __future__ import annotations
 import threading as _threading
 
 from repro.perf.counters import PerfCounters
-from repro.perf.report import build_report, format_report, write_json_report
+from repro.perf.report import (
+    ROBUSTNESS_COUNTERS,
+    build_report,
+    format_report,
+    write_json_report,
+)
 from repro.perf.timer import NullTimers, PerfTimers, SectionStats
 
 __all__ = [
     "NULL_RECORDER",
+    "ROBUSTNESS_COUNTERS",
     "NullTimers",
     "PerfCounters",
     "PerfRecorder",

@@ -11,14 +11,26 @@ from __future__ import annotations
 import json
 import pathlib
 
-__all__ = ["build_report", "format_report", "write_json_report"]
+__all__ = ["ROBUSTNESS_COUNTERS", "build_report", "format_report", "write_json_report"]
+
+# The session-health counters every report surfaces explicitly (zero
+# when they never fired): a clean run *showing* zero degraded frames is
+# evidence, a missing key is just ambiguity.
+ROBUSTNESS_COUNTERS = (
+    "session.frames_degraded",
+    "session.tracking_fallbacks",
+    "session.relocalizations",
+    "session.pipeline_stalls",
+)
 
 
 def build_report(recorder, extra: dict | None = None) -> dict:
-    """Return ``{"timers": ..., "counters": ...}`` (+ optional extra keys)."""
+    """Return ``{"timers", "counters", "robustness"}`` (+ optional extras)."""
+    counters = recorder.counters.as_dict()
     report = {
         "timers": recorder.timers.as_dict(),
-        "counters": recorder.counters.as_dict(),
+        "counters": counters,
+        "robustness": {name: counters.get(name, 0) for name in ROBUSTNESS_COUNTERS},
     }
     if extra:
         report.update(extra)
@@ -56,6 +68,13 @@ def format_report(recorder, title: str = "perf report") -> str:
         for name, value in counters.items():
             rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.3f}"
             lines.append(f"{name.ljust(name_width)}{rendered:>16}")
+    shown = set(counters)
+    missing = [name for name in ROBUSTNESS_COUNTERS if name not in shown]
+    if missing:
+        lines.append("")
+        name_width = max(len(name) for name in missing) + 2
+        for name in missing:
+            lines.append(f"{name.ljust(name_width)}{'0':>16}")
     return "\n".join(lines)
 
 

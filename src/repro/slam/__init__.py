@@ -7,6 +7,12 @@ These are the substrates the AGS algorithm (:mod:`repro.core`) is built on
 and compared against.
 """
 
+from repro.slam.health import (
+    HealthConfig,
+    HealthReport,
+    ModeratedTracking,
+    TrackingHealthMonitor,
+)
 from repro.slam.results import FrameResult, SlamResult
 from repro.slam.session import (
     EXECUTION_MODES,
@@ -37,10 +43,13 @@ __all__ = [
     "GaussianPoseTracker",
     "GaussianSlam",
     "GaussianSlamConfig",
+    "HealthConfig",
+    "HealthReport",
     "Keyframe",
     "KeyframeManager",
     "MapperConfig",
     "MappingOutcome",
+    "ModeratedTracking",
     "OrbLiteConfig",
     "OrbLiteSlam",
     "SessionRunner",
@@ -51,6 +60,7 @@ __all__ = [
     "SplaTamConfig",
     "TrackedFrame",
     "TrackerConfig",
+    "TrackingHealthMonitor",
     "TrackingOutcome",
     "align_trajectories",
     "ate_rmse",

@@ -19,6 +19,7 @@ import numpy as np
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
 from repro.perf import PerfRecorder
+from repro.slam.health import HealthConfig, TrackingHealthMonitor
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult
@@ -61,6 +62,7 @@ class GaussianSlamConfig:
     max_keyframes: int = 6
     anchor_first_pose_to_gt: bool = True
     collect_trace: bool = True
+    health: HealthConfig = dataclasses.field(default_factory=HealthConfig)
 
 
 class GaussianSlam(SessionRunner):
@@ -93,8 +95,11 @@ class GaussianSlam(SessionRunner):
         self.keyframes = KeyframeManager(
             every_n=self.config.keyframe_every, max_keyframes=self.config.max_keyframes
         )
+        self.health = TrackingHealthMonitor(self.config.health, intrinsics)
         self.submaps: list[SubMap] = []
         self._pose_history: list[Pose] = []
+        self._prev_gray: np.ndarray | None = None
+        self._prev_depth: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -103,6 +108,9 @@ class GaussianSlam(SessionRunner):
         self._pose_history = []
         self.mapper.reset()
         self.keyframes.reset()
+        self.health.reset()
+        self._prev_gray = None
+        self._prev_depth = None
 
     @property
     def active_submap(self) -> SubMap | None:
@@ -155,6 +163,9 @@ class GaussianSlam(SessionRunner):
             "pose_history": [pack_pose(pose) for pose in self._pose_history],
             "keyframes": self.keyframes.state_dict(),
             "mapper": self.mapper.state_dict(),
+            "health": self.health.state_dict(),
+            "prev_gray": None if self._prev_gray is None else self._prev_gray.copy(),
+            "prev_depth": None if self._prev_depth is None else self._prev_depth.copy(),
         }
 
     def _restore_payload(self, payload: dict) -> None:
@@ -170,6 +181,10 @@ class GaussianSlam(SessionRunner):
         self._pose_history = [unpack_pose(vector) for vector in payload["pose_history"]]
         self.keyframes.load_state_dict(payload["keyframes"])
         self.mapper.load_state_dict(payload["mapper"])
+        self.health.load_state_dict(payload["health"])
+        prev_gray, prev_depth = payload["prev_gray"], payload["prev_depth"]
+        self._prev_gray = None if prev_gray is None else np.asarray(prev_gray).copy()
+        self._prev_depth = None if prev_depth is None else np.asarray(prev_depth).copy()
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
@@ -183,11 +198,16 @@ class GaussianSlam(SessionRunner):
         ``_await_mapped`` gates the read (full dependency stall under
         pipelined execution, as for SplaTAM).
         """
+        health_events: list = []
+        degraded = False
+        fallbacks_used = 0
+        relocalized = False
         if index == 0:
             pose = frame.gt_pose.copy() if self.config.anchor_first_pose_to_gt else Pose.identity()
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
             tracking_loss, tracking_iterations = 0.0, 0
         else:
+            prev_pose = self._pose_history[-1]
             initial = self.tracker.initial_guess(self._pose_history)
             self._await_mapped()
             active_model = self.active_submap.model if self.active_submap else GaussianModel.empty()
@@ -196,18 +216,64 @@ class GaussianSlam(SessionRunner):
                     active_model, frame.color, frame.depth, initial,
                     collect_workload=self.config.collect_trace,
                 )
-            pose = outcome.pose
-            tracking_workload = outcome.workload
-            tracking_loss = outcome.final_loss
-            tracking_iterations = outcome.iterations_run
+            moderated = self.health.moderate(
+                index,
+                pose=outcome.pose,
+                loss=outcome.final_loss,
+                iterations=outcome.iterations_run,
+                workload=outcome.workload,
+                prev_pose=prev_pose,
+                retrack=lambda seed: self._retrack(active_model, frame, seed),
+                feature_pose=lambda: self.health.feature_pose(
+                    index,
+                    self._prev_gray,
+                    self._prev_depth,
+                    frame.gray,
+                    frame.depth,
+                    prev_pose,
+                    perf=self.perf,
+                ),
+                perf=self.perf,
+            )
+            pose = moderated.pose
+            tracking_workload = moderated.workload
+            tracking_loss = moderated.loss
+            tracking_iterations = moderated.iterations
+            health_events = moderated.events
+            degraded = moderated.degraded
+            fallbacks_used = moderated.fallbacks_used
+            relocalized = moderated.relocalized
         self._pose_history.append(pose.copy())
+        if self.health.config.enabled:
+            self._prev_gray = np.asarray(frame.gray)
+            self._prev_depth = np.asarray(frame.depth)
         self.perf.count("tracking.refine_iterations", tracking_iterations)
         return TrackedFrame(
             pose=pose,
             workload=tracking_workload,
             loss=tracking_loss,
             iterations=tracking_iterations,
+            health_events=health_events,
+            degraded=degraded,
+            fallbacks_used=fallbacks_used,
+            relocalized=relocalized,
         )
+
+    def _retrack(self, model: GaussianModel, frame, seed_pose):
+        """Fallback retry: re-run photometric tracking from ``seed_pose``.
+
+        Runs with the primary budget plus ``retry_iterations`` — a flagged
+        frame is worth extra convergence effort, and a retry that merely
+        ties the primary pass is rejected by the ladder anyway.
+        """
+        iterations = self.config.tracking_iterations + self.health.config.retry_iterations
+        with self.perf.section("gaussian_slam/tracking"):
+            outcome = self.tracker.track(
+                model, frame.color, frame.depth, seed_pose,
+                num_iterations=iterations,
+                collect_workload=self.config.collect_trace,
+            )
+        return outcome.pose, outcome.final_loss, outcome.iterations_run, outcome.workload
 
     def _map(self, index: int, frame, tracked: TrackedFrame) -> tuple[FrameResult, FrameTrace]:
         """Mapping sub-stage: sub-map management, mapping, keyframes."""
@@ -248,6 +314,9 @@ class GaussianSlam(SessionRunner):
             tracking_loss=tracked.loss,
             mapping_loss=mapping_outcome.final_loss,
             num_gaussians=len(self.global_model()),
+            degraded=tracked.degraded,
+            fallbacks_used=tracked.fallbacks_used,
+            relocalized=tracked.relocalized,
         )
         frame_trace = FrameTrace(
             frame_index=index,
@@ -255,5 +324,6 @@ class GaussianSlam(SessionRunner):
             mapping=mapping_outcome.workload,
             covisibility=None,
             num_gaussians=len(self.global_model()),
+            health_events=list(tracked.health_events),
         )
         return frame_result, frame_trace

@@ -19,11 +19,18 @@ import numpy as np
 from scipy.ndimage import maximum_filter, uniform_filter
 
 from repro.gaussians.camera import Intrinsics, Pose, rotmat_to_quat
-from repro.perf import PerfRecorder
+from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.results import FrameResult
 from repro.slam.session import SessionRunner, pack_pose, pack_rng, restore_rng, unpack_pose
 
-__all__ = ["OrbLiteConfig", "OrbLiteSlam", "detect_corners", "extract_descriptors", "match_descriptors"]
+__all__ = [
+    "OrbLiteConfig",
+    "OrbLiteSlam",
+    "detect_corners",
+    "estimate_relative_rigid",
+    "extract_descriptors",
+    "match_descriptors",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -125,6 +132,94 @@ def _horn_alignment(points_a: np.ndarray, points_b: np.ndarray) -> tuple[np.ndar
     return rotation, translation
 
 
+def _backproject_corners(
+    corners: np.ndarray, depth: np.ndarray, intrinsics: Intrinsics
+) -> tuple[np.ndarray, np.ndarray]:
+    """Back-project corners with valid depth; returns (points, valid_mask)."""
+    xs, ys = corners[:, 0], corners[:, 1]
+    z = depth[ys, xs]
+    valid = z > 1e-6
+    points = np.stack(
+        [
+            (xs + 0.5 - intrinsics.cx) / intrinsics.fx * z,
+            (ys + 0.5 - intrinsics.cy) / intrinsics.fy * z,
+            z,
+        ],
+        axis=1,
+    )
+    return points, valid
+
+
+def estimate_relative_rigid(
+    prev_gray: np.ndarray,
+    prev_depth: np.ndarray,
+    cur_gray: np.ndarray,
+    cur_depth: np.ndarray,
+    intrinsics: Intrinsics,
+    config: OrbLiteConfig,
+    rng: np.random.Generator,
+    perf: PerfRecorder | None = None,
+) -> tuple[Pose | None, int]:
+    """Feature-based relative motion between two RGB-D frames.
+
+    The sparse pipeline of :class:`OrbLiteSlam` as a free function —
+    detect corners, match normalized patch descriptors (invariant to
+    affine intensity change, which is what makes this the right fallback
+    under exposure drift), back-project through the depth channel and
+    RANSAC a Horn alignment.  Returns the relative pose (previous-camera
+    to current-camera) and the inlier count, or ``(None, 0)`` when not
+    enough geometry survives.
+
+    ``rng`` drives RANSAC sampling; callers that need statelessness (the
+    tracking-health fallback ladder) pass a generator freshly seeded per
+    frame index.
+    """
+    perf = perf or NULL_RECORDER
+    with perf.section("orb/features"):
+        corners_prev = detect_corners(prev_gray, config)
+        corners_cur = detect_corners(cur_gray, config)
+        desc_prev = extract_descriptors(prev_gray, corners_prev, config.patch_size)
+        desc_cur = extract_descriptors(cur_gray, corners_cur, config.patch_size)
+        matches = match_descriptors(desc_prev, desc_cur, config.match_ratio)
+    perf.count("orb.matches", len(matches))
+    if len(matches) < config.min_matches:
+        return None, 0
+
+    points_prev, valid_prev = _backproject_corners(
+        corners_prev[matches[:, 0]], prev_depth, intrinsics
+    )
+    points_cur, valid_cur = _backproject_corners(
+        corners_cur[matches[:, 1]], cur_depth, intrinsics
+    )
+    valid = valid_prev & valid_cur
+    points_prev, points_cur = points_prev[valid], points_cur[valid]
+    if len(points_prev) < config.min_matches:
+        return None, 0
+
+    best_inliers: np.ndarray | None = None
+    with perf.section("orb/pose"):
+        for _ in range(config.ransac_iterations):
+            sample = rng.choice(len(points_prev), size=3, replace=False)
+            try:
+                rotation, translation = _horn_alignment(points_prev[sample], points_cur[sample])
+            except np.linalg.LinAlgError:
+                continue
+            predicted = points_prev @ rotation.T + translation
+            errors = np.linalg.norm(predicted - points_cur, axis=1)
+            inliers = errors < config.ransac_threshold
+            if best_inliers is None or inliers.sum() > best_inliers.sum():
+                best_inliers = inliers
+        if best_inliers is None or best_inliers.sum() < config.min_matches:
+            return None, 0
+
+        rotation, translation = _horn_alignment(
+            points_prev[best_inliers], points_cur[best_inliers]
+        )
+    perf.count("orb.inliers", int(best_inliers.sum()))
+    relative = Pose(quat=rotmat_to_quat(rotation), trans=translation)
+    return relative, int(best_inliers.sum())
+
+
 class OrbLiteSlam(SessionRunner):
     """Frame-to-frame sparse feature odometry with depth.
 
@@ -159,17 +254,6 @@ class OrbLiteSlam(SessionRunner):
         self._prev_relative = Pose.identity()
 
     # ------------------------------------------------------------------
-    def _backproject(self, corners: np.ndarray, depth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Back-project corners with valid depth; returns (points, valid_mask)."""
-        intr = self.intrinsics
-        xs, ys = corners[:, 0], corners[:, 1]
-        z = depth[ys, xs]
-        valid = z > 1e-6
-        points = np.stack(
-            [(xs + 0.5 - intr.cx) / intr.fx * z, (ys + 0.5 - intr.cy) / intr.fy * z, z], axis=1
-        )
-        return points, valid
-
     def estimate_relative_pose(
         self,
         prev_gray: np.ndarray,
@@ -181,48 +265,20 @@ class OrbLiteSlam(SessionRunner):
 
         Returns the relative pose (mapping previous-camera coordinates to
         current-camera coordinates) and the number of inlier matches, or
-        ``(None, 0)`` when not enough geometry is available.
+        ``(None, 0)`` when not enough geometry is available.  Thin wrapper
+        over :func:`estimate_relative_rigid` bound to this session's
+        intrinsics, RANSAC RNG stream and perf recorder.
         """
-        config = self.config
-        with self.perf.section("orb/features"):
-            corners_prev = detect_corners(prev_gray, config)
-            corners_cur = detect_corners(cur_gray, config)
-            desc_prev = extract_descriptors(prev_gray, corners_prev, config.patch_size)
-            desc_cur = extract_descriptors(cur_gray, corners_cur, config.patch_size)
-            matches = match_descriptors(desc_prev, desc_cur, config.match_ratio)
-        self.perf.count("orb.matches", len(matches))
-        if len(matches) < config.min_matches:
-            return None, 0
-
-        points_prev, valid_prev = self._backproject(corners_prev[matches[:, 0]], prev_depth)
-        points_cur, valid_cur = self._backproject(corners_cur[matches[:, 1]], cur_depth)
-        valid = valid_prev & valid_cur
-        points_prev, points_cur = points_prev[valid], points_cur[valid]
-        if len(points_prev) < config.min_matches:
-            return None, 0
-
-        best_inliers: np.ndarray | None = None
-        with self.perf.section("orb/pose"):
-            for _ in range(config.ransac_iterations):
-                sample = self._rng.choice(len(points_prev), size=3, replace=False)
-                try:
-                    rotation, translation = _horn_alignment(points_prev[sample], points_cur[sample])
-                except np.linalg.LinAlgError:
-                    continue
-                predicted = points_prev @ rotation.T + translation
-                errors = np.linalg.norm(predicted - points_cur, axis=1)
-                inliers = errors < config.ransac_threshold
-                if best_inliers is None or inliers.sum() > best_inliers.sum():
-                    best_inliers = inliers
-            if best_inliers is None or best_inliers.sum() < config.min_matches:
-                return None, 0
-
-            rotation, translation = _horn_alignment(
-                points_prev[best_inliers], points_cur[best_inliers]
-            )
-        self.perf.count("orb.inliers", int(best_inliers.sum()))
-        relative = Pose(quat=rotmat_to_quat(rotation), trans=translation)
-        return relative, int(best_inliers.sum())
+        return estimate_relative_rigid(
+            prev_gray,
+            prev_depth,
+            cur_gray,
+            cur_depth,
+            self.intrinsics,
+            self.config,
+            self._rng,
+            perf=self.perf,
+        )
 
     # ------------------------------------------------------------------
     def _track(self, index: int, frame) -> FrameResult:

@@ -29,6 +29,9 @@ class FrameResult:
         covisibility: detected covisibility (None for the baseline).
         num_gaussians: map size after processing the frame.
         gaussians_skipped: Gaussians skipped by selective mapping.
+        degraded: True when the tracking-health monitor flagged the frame.
+        fallbacks_used: fallback-ladder rungs taken for the frame.
+        relocalized: True when the pose came from the feature fallback.
     """
 
     frame_index: int
@@ -42,6 +45,9 @@ class FrameResult:
     covisibility: float | None = None
     num_gaussians: int = 0
     gaussians_skipped: int = 0
+    degraded: bool = False
+    fallbacks_used: int = 0
+    relocalized: bool = False
 
 
 @dataclasses.dataclass
@@ -78,6 +84,21 @@ class SlamResult:
         if not self.frames:
             return 0.0
         return sum(frame.is_keyframe for frame in self.frames) / len(self.frames)
+
+    @property
+    def frames_degraded(self) -> int:
+        """Frames the tracking-health monitor flagged as degraded."""
+        return int(sum(frame.degraded for frame in self.frames))
+
+    @property
+    def total_fallbacks(self) -> int:
+        """Fallback-ladder rungs taken across the run."""
+        return int(sum(frame.fallbacks_used for frame in self.frames))
+
+    @property
+    def total_relocalizations(self) -> int:
+        """Frames whose pose came from the feature fallback."""
+        return int(sum(frame.relocalized for frame in self.frames))
 
     @property
     def coarse_only_fraction(self) -> float:

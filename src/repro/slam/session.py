@@ -175,13 +175,18 @@ class TrackedFrame:
 
     Systems with richer tracking outputs (AGS's covisibility
     measurements) define their own handoff type — the executor treats it
-    as opaque.
+    as opaque.  The health fields carry the tracking-health monitor's
+    verdict from ``_track`` to the result/trace assembly in ``_map``.
     """
 
     pose: Pose
     workload: TrackingWorkload
     loss: float = 0.0
     iterations: int = 0
+    health_events: list = dataclasses.field(default_factory=list)
+    degraded: bool = False
+    fallbacks_used: int = 0
+    relocalized: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -457,7 +462,35 @@ class SessionRunner:
             worker.join()
             self._pipeline = None
         if failures:
+            self._recover_after_map_failure(sequence)
             raise failures[0]
+
+    def _recover_after_map_failure(self, sequence) -> None:
+        """Rebuild a consistent session at the last fully-mapped frame.
+
+        When a pipelined ``_map`` fails, the track stage may already have
+        advanced its state (pose history, velocity priors, reference
+        frames) several frames past the last completed map, and the
+        failed ``_map`` itself may have half-applied its mutations.
+        Rather than rolling individual sub-stage state back, replay the
+        fully-mapped prefix from scratch: session processing is
+        deterministic, so the replayed state is bit-identical to the
+        uninterrupted prefix and a checkpoint taken afterwards resumes
+        from the last fully-mapped frame.  The replay re-runs up to
+        ``next_index`` frames (and re-counts their perf events) — a cost
+        paid only on the failure path.  If the replay itself fails the
+        session is left without an active result, so ``state()`` raises
+        instead of checkpointing torn state.
+        """
+        mapped = self._next_index
+        name = self._session_sequence or "stream"
+        try:
+            self.begin(name)
+            for index in range(mapped):
+                self.feed(sequence[index])
+        except BaseException:
+            self._session_result = None
+            self._session_trace = None
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -596,6 +629,8 @@ def _frame_trace_from_payload(payload: dict) -> FrameTrace:
         covisibility=payload["covisibility"],
         codec_sad_evaluations=payload["codec_sad_evaluations"],
         num_gaussians=payload["num_gaussians"],
+        # .get: trace payloads written before health tracking lack the key.
+        health_events=[str(event) for event in payload.get("health_events") or []],
     )
 
 

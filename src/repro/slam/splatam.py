@@ -26,6 +26,7 @@ import numpy as np
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
 from repro.perf import PerfRecorder
+from repro.slam.health import HealthConfig, TrackingHealthMonitor
 from repro.slam.keyframes import KeyframeManager
 from repro.slam.mapper import GaussianMapper, MapperConfig
 from repro.slam.results import FrameResult
@@ -62,6 +63,7 @@ class SplaTamConfig:
     max_keyframes: int = 8
     anchor_first_pose_to_gt: bool = True
     collect_trace: bool = True
+    health: HealthConfig = dataclasses.field(default_factory=HealthConfig)
 
 
 class SplaTam(SessionRunner):
@@ -94,8 +96,11 @@ class SplaTam(SessionRunner):
         self.keyframes = KeyframeManager(
             every_n=self.config.keyframe_every, max_keyframes=self.config.max_keyframes
         )
+        self.health = TrackingHealthMonitor(self.config.health, intrinsics)
         self.model = GaussianModel.empty()
         self._pose_history: list = []
+        self._prev_gray: np.ndarray | None = None
+        self._prev_depth: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -103,7 +108,10 @@ class SplaTam(SessionRunner):
         self.model = GaussianModel.empty()
         self.mapper.reset()
         self.keyframes.reset()
+        self.health.reset()
         self._pose_history = []
+        self._prev_gray = None
+        self._prev_depth = None
 
     # ------------------------------------------------------------------
     def _state_payload(self) -> dict:
@@ -112,6 +120,9 @@ class SplaTam(SessionRunner):
             "keyframes": self.keyframes.state_dict(),
             "pose_history": [pack_pose(pose) for pose in self._pose_history],
             "mapper": self.mapper.state_dict(),
+            "health": self.health.state_dict(),
+            "prev_gray": None if self._prev_gray is None else self._prev_gray.copy(),
+            "prev_depth": None if self._prev_depth is None else self._prev_depth.copy(),
         }
 
     def _restore_payload(self, payload: dict) -> None:
@@ -119,6 +130,10 @@ class SplaTam(SessionRunner):
         self.keyframes.load_state_dict(payload["keyframes"])
         self._pose_history = [unpack_pose(vector) for vector in payload["pose_history"]]
         self.mapper.load_state_dict(payload["mapper"])
+        self.health.load_state_dict(payload["health"])
+        prev_gray, prev_depth = payload["prev_gray"], payload["prev_depth"]
+        self._prev_gray = None if prev_gray is None else np.asarray(prev_gray).copy()
+        self._prev_depth = None if prev_depth is None else np.asarray(prev_depth).copy()
 
     # ------------------------------------------------------------------
     def process_frame(self, index: int, frame) -> tuple[FrameResult, FrameTrace]:
@@ -135,12 +150,17 @@ class SplaTam(SessionRunner):
         without a map-free coarse tracker).
         """
         config = self.config
+        health_events: list = []
+        degraded = False
+        fallbacks_used = 0
+        relocalized = False
         if index == 0:
             pose = frame.gt_pose.copy() if config.anchor_first_pose_to_gt else self.tracker.initial_guess([])
             tracking_workload = TrackingWorkload(coarse_flops=0.0, refine_iterations=0)
             tracking_loss = 0.0
             tracking_iterations = 0
         else:
+            prev_pose = self._pose_history[-1]
             initial = self.tracker.initial_guess(self._pose_history)
             self._await_mapped()
             with self.perf.section("splatam/tracking"):
@@ -148,18 +168,64 @@ class SplaTam(SessionRunner):
                     self.model, frame.color, frame.depth, initial,
                     collect_workload=config.collect_trace,
                 )
-            pose = outcome.pose
-            tracking_workload = outcome.workload
-            tracking_loss = outcome.final_loss
-            tracking_iterations = outcome.iterations_run
+            moderated = self.health.moderate(
+                index,
+                pose=outcome.pose,
+                loss=outcome.final_loss,
+                iterations=outcome.iterations_run,
+                workload=outcome.workload,
+                prev_pose=prev_pose,
+                retrack=lambda seed: self._retrack(frame, seed),
+                feature_pose=lambda: self.health.feature_pose(
+                    index,
+                    self._prev_gray,
+                    self._prev_depth,
+                    frame.gray,
+                    frame.depth,
+                    prev_pose,
+                    perf=self.perf,
+                ),
+                perf=self.perf,
+            )
+            pose = moderated.pose
+            tracking_workload = moderated.workload
+            tracking_loss = moderated.loss
+            tracking_iterations = moderated.iterations
+            health_events = moderated.events
+            degraded = moderated.degraded
+            fallbacks_used = moderated.fallbacks_used
+            relocalized = moderated.relocalized
         self._pose_history.append(pose.copy())
+        if self.health.config.enabled:
+            self._prev_gray = np.asarray(frame.gray)
+            self._prev_depth = np.asarray(frame.depth)
         self.perf.count("tracking.refine_iterations", tracking_iterations)
         return TrackedFrame(
             pose=pose,
             workload=tracking_workload,
             loss=tracking_loss,
             iterations=tracking_iterations,
+            health_events=health_events,
+            degraded=degraded,
+            fallbacks_used=fallbacks_used,
+            relocalized=relocalized,
         )
+
+    def _retrack(self, frame, seed_pose):
+        """Fallback retry: re-run photometric tracking from ``seed_pose``.
+
+        The retry gets the primary budget plus ``retry_iterations`` — a
+        flagged frame is worth extra convergence effort, and a retry that
+        merely ties the primary pass is rejected by the ladder anyway.
+        """
+        iterations = self.config.tracking_iterations + self.health.config.retry_iterations
+        with self.perf.section("splatam/tracking"):
+            outcome = self.tracker.track(
+                self.model, frame.color, frame.depth, seed_pose,
+                num_iterations=iterations,
+                collect_workload=self.config.collect_trace,
+            )
+        return outcome.pose, outcome.final_loss, outcome.iterations_run, outcome.workload
 
     def _map(self, index: int, frame, tracked: TrackedFrame) -> tuple[FrameResult, FrameTrace]:
         """Mapping sub-stage: densify, optimize the map, manage keyframes."""
@@ -190,6 +256,9 @@ class SplaTam(SessionRunner):
             mapping_loss=mapping_outcome.final_loss,
             is_keyframe=True,
             num_gaussians=len(self.model),
+            degraded=tracked.degraded,
+            fallbacks_used=tracked.fallbacks_used,
+            relocalized=tracked.relocalized,
         )
         frame_trace = FrameTrace(
             frame_index=index,
@@ -200,5 +269,6 @@ class SplaTam(SessionRunner):
             covisibility=None,
             codec_sad_evaluations=0,
             num_gaussians=len(self.model),
+            health_events=list(tracked.health_events),
         )
         return frame_result, frame_trace

@@ -131,7 +131,12 @@ class MappingWorkload:
 
 @dataclasses.dataclass
 class FrameTrace:
-    """Trace of one SLAM frame (tracking + mapping + covisibility detection)."""
+    """Trace of one SLAM frame (tracking + mapping + covisibility detection).
+
+    ``health_events`` records the tracking-health monitor's findings for
+    the frame (``"degraded:loss"``, ``"fallback:reseed"``, ...); empty on
+    healthy frames.
+    """
 
     frame_index: int
     tracking: TrackingWorkload
@@ -139,6 +144,7 @@ class FrameTrace:
     covisibility: float | None = None
     codec_sad_evaluations: int = 0
     num_gaussians: int = 0
+    health_events: list[str] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -245,6 +251,7 @@ def scale_trace(
                 covisibility=frame.covisibility,
                 codec_sad_evaluations=int(frame.codec_sad_evaluations * pixel_factor),
                 num_gaussians=int(frame.num_gaussians * gaussian_factor),
+                health_events=list(frame.health_events),
             )
         )
     return SequenceTrace(

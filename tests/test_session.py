@@ -312,6 +312,62 @@ def test_pipelined_map_stage_failure_propagates(tiny_sequence):
         system.run(tiny_sequence, num_frames=NUM_FRAMES)
 
 
+def test_pipelined_map_failure_preserves_original_traceback(tiny_sequence):
+    """The exception surfaces with the worker's traceback, not a wrapper's."""
+    system = _make_orb(tiny_sequence, execution="pipelined")
+
+    def failing_map(index, frame, tracked):
+        raise RuntimeError("map stage exploded")
+
+    system._map = failing_map
+    try:
+        system.run(tiny_sequence, num_frames=NUM_FRAMES)
+    except RuntimeError as error:
+        frames = []
+        traceback = error.__traceback__
+        while traceback is not None:
+            frames.append(traceback.tb_frame.f_code.co_name)
+            traceback = traceback.tb_next
+        assert "failing_map" in frames
+    else:  # pragma: no cover
+        pytest.fail("map failure did not propagate")
+
+
+def test_pipelined_map_failure_leaves_session_restorable(tiny_sequence, reference_runs):
+    """After a pipelined _map failure the session checkpoints and resumes.
+
+    Regression test: the failed map (and any tracking that raced ahead of
+    it) must not leave torn state behind — the session recovers to the
+    last fully-mapped frame, a checkpoint taken there loads into a fresh
+    system, and completing the stream reproduces the uninterrupted run
+    bit-identically.
+    """
+    system = _make_splatam(tiny_sequence, execution="pipelined")
+    original_map = system._map
+    fail_at = 2
+
+    def flaky_map(index, frame, tracked):
+        if index == fail_at:
+            raise RuntimeError("transient map failure")
+        return original_map(index, frame, tracked)
+
+    system._map = flaky_map
+    with pytest.raises(RuntimeError, match="transient map failure"):
+        system.run(tiny_sequence, num_frames=NUM_FRAMES)
+
+    # The session recovered to the last fully-mapped frame and its
+    # checkpoint is coherent.
+    assert system.next_frame_index == fail_at
+    state = system.state()
+    assert len(state.frames) == fail_at
+
+    resumed = _make_splatam(tiny_sequence)
+    resumed.restore(state)
+    for index, frame in tiny_sequence.stream(start=fail_at, stop=NUM_FRAMES):
+        resumed.feed(frame, index=index)
+    assert_results_identical(reference_runs["splatam"], resumed.finalize())
+
+
 def test_unknown_execution_mode_is_rejected(tiny_sequence):
     with pytest.raises(ValueError, match="execution mode"):
         _make_orb(tiny_sequence, execution="warp-speed")
