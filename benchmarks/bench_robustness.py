@@ -45,6 +45,7 @@ from repro.eval.robustness import (  # noqa: E402
     robustness_grid,
 )
 from repro.eval.service import RunKey, default_service  # noqa: E402
+from repro.ioutil import atomic_write_text  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_robustness.json"
 
@@ -186,7 +187,7 @@ def main(argv=None) -> int:
             return 1
         print("robustness gate PASSED")
 
-    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    atomic_write_text(args.output, json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
     return 0
 

@@ -38,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from perf_gate import check_gate, gate_table  # noqa: E402
+from repro.ioutil import atomic_write_text  # noqa: E402
 
 from repro.gaussians import (  # noqa: E402
     Camera,
@@ -233,7 +234,7 @@ def main(argv=None) -> int:
             return 1
         print("perf gate PASSED")
 
-    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    atomic_write_text(args.output, json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
     return 0
 

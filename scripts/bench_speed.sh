@@ -27,3 +27,7 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 # fallback-ablation wins), not timing-gated, so it takes no extra args.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_robustness.py --gate
+# Fault-recovery grid: correctness-gated (crash-at-fault + recovery is
+# bit-identical to the uninterrupted run, per plan x system).
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_faults.py --gate

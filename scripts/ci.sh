@@ -42,8 +42,15 @@ echo "== robustness smoke grid =="
 # benchmarks/bench_robustness.py.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.eval.robustness --smoke
 
+echo "== fault-recovery smoke =="
+# One fault plan, two systems: a run that crashes at every injected
+# fault and resumes from checkpoint must be bit-identical to the
+# uninterrupted run.  The full plan x system matrix runs in the slow
+# lane (tests/test_faults.py -m slow) and in benchmarks/bench_faults.py.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_faults.py --smoke
+
 if [[ "$RUN_SLOW" == "1" ]]; then
-    echo "== slow lane (randomized equivalence sweeps + full robustness matrix) =="
+    echo "== slow lane (randomized equivalence sweeps + full robustness and fault matrices) =="
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m slow
 fi
 

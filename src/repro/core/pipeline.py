@@ -80,10 +80,15 @@ class AgsSlam(SessionRunner):
         perf: PerfRecorder | None = None,
         execution: str = "sequential",
         health_config: HealthConfig | None = None,
+        watchdog_timeout: float | None = None,
     ) -> None:
         self.config = config or AGSConfig()
         super().__init__(
-            intrinsics, collect_trace=collect_trace, perf=perf, execution=execution
+            intrinsics,
+            collect_trace=collect_trace,
+            perf=perf,
+            execution=execution,
+            watchdog_timeout=watchdog_timeout,
         )
         covisibility_config = covisibility_config or CovisibilityConfig(
             sad_scale=self.config.covisibility_sad_scale

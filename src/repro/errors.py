@@ -1,0 +1,94 @@
+"""The repo-wide error taxonomy for fault handling and recovery.
+
+Every layer that can fail mid-run — streaming sessions, disk
+checkpoints, the pipelined executor, the evaluation service — raises
+errors from this taxonomy so that the recovery tier
+(:class:`repro.eval.service.SlamService`) can decide *mechanically* what
+to do with a failure:
+
+* :class:`TransientError` — the operation may succeed if repeated: a
+  flaky frame read, an injected stage crash, a watchdog timeout.  The
+  service retries these with bounded exponential backoff, resuming from
+  the newest valid checkpoint.
+* :class:`FatalError` — retrying cannot help: a mis-configured run, a
+  deterministic crash, an exhausted retry budget surfacing the last
+  transient cause.  The service reports these per key and moves on.
+* :class:`CheckpointCorruptError` — a checkpoint on disk is torn,
+  truncated, bit-flipped, missing its manifest or written by an
+  incompatible format version.  Recovery treats the generation as
+  invalid and falls back to the next-older one (corruption is fatal for
+  *that checkpoint*, not for the run).
+
+Exceptions outside the taxonomy (plain ``ValueError`` etc.) are treated
+as fatal: only failures that *declare* themselves transient are retried.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointCorruptError",
+    "FatalError",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "ReproError",
+    "RunManyError",
+    "StageTimeoutError",
+    "TransientError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error in the taxonomy."""
+
+
+class TransientError(ReproError):
+    """A failure that a bounded retry (from a checkpoint) may fix."""
+
+
+class FatalError(ReproError):
+    """A failure retrying cannot fix; reported, never retried."""
+
+
+class CheckpointCorruptError(FatalError):
+    """A checkpoint is torn/truncated/bit-flipped/version-incompatible.
+
+    Raised by :func:`repro.slam.session.load_session_state` before any
+    session state is touched — a corrupt checkpoint can never partially
+    restore a session.  Recovery responds by falling back to the
+    next-older checkpoint generation (or a from-scratch restart).
+    """
+
+
+class StageTimeoutError(TransientError):
+    """The watchdog declared a pipeline stage stalled.
+
+    Raised by the pipelined session executor when a submitted ``_map``
+    stage makes no progress within ``watchdog_timeout`` seconds.  The
+    session is left restorable (recovered to the last fully-mapped
+    frame), so the service can retry from a checkpoint.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """A deterministic *transient* fault fired by the fault injector."""
+
+
+class InjectedCrashError(FatalError):
+    """A deterministic *fatal* crash fired by the fault injector."""
+
+
+class RunManyError(ReproError):
+    """One or more keys of a ``run_many`` batch failed after retries.
+
+    Raised only after every surviving key completed (and was stored), so
+    a single bad run never poisons the batch.  ``failures`` maps each
+    failed :class:`~repro.eval.service.RunKey` to the exception that
+    exhausted its retry policy.
+    """
+
+    def __init__(self, failures: dict) -> None:
+        self.failures = dict(failures)
+        lines = ", ".join(f"{key.slug()}: {exc!r}" for key, exc in self.failures.items())
+        super().__init__(
+            f"{len(self.failures)} run(s) failed after retries ({lines})"
+        )

@@ -84,6 +84,7 @@ def run_slam(
     enable_mat: bool = True,
     enable_gcm: bool = True,
     execution: str = DEFAULT_SETTINGS.execution,
+    faults: str | None = None,
 ):
     """Run (and cache) one SLAM configuration on one sequence.
 
@@ -106,6 +107,10 @@ def run_slam(
         enable_mat / enable_gcm: AGS ablation switches.
         execution: session executor mode, ``"sequential"`` (default) or
             ``"pipelined"`` (bit-identical intra-run overlap).
+        faults: deterministic fault plan injected into the run (a name
+            from :data:`repro.faults.FAULT_PLANS`), or ``None`` for a
+            fault-free run.  Fault runs engage the service's recovery
+            driver (bounded retries; resume from valid checkpoints).
 
     Returns:
         The :class:`repro.slam.results.SlamResult` of the run.
@@ -122,6 +127,7 @@ def run_slam(
         enable_mat=enable_mat,
         enable_gcm=enable_gcm,
         execution=execution,
+        faults=faults,
     )
     return default_service().run(key)
 

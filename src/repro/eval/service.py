@@ -30,9 +30,12 @@ from __future__ import annotations
 import collections
 import dataclasses
 import pathlib
+import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.errors import CheckpointCorruptError, RunManyError, TransientError
 from repro.perf import PerfRecorder, global_recorder
 from repro.slam.results import SlamResult
 from repro.slam.session import (
@@ -44,6 +47,7 @@ from repro.slam.session import (
 
 __all__ = [
     "KNOWN_ALGORITHMS",
+    "RetryPolicy",
     "RunKey",
     "SlamService",
     "configure_default_service",
@@ -94,6 +98,10 @@ class RunKey:
     # Whether the tracking-health monitor's fallback ladder is armed.
     # Disabling it is the ablation arm of the robustness grid.
     fallbacks: bool = True
+    # Deterministic fault plan injected into the run (a name from
+    # repro.faults.FAULT_PLANS), or None for a fault-free run.  Fault
+    # runs engage the service's recovery driver (checkpoints + retries).
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in KNOWN_ALGORITHMS:
@@ -121,6 +129,14 @@ class RunKey:
                 raise ValueError(
                     f"unknown scenario '{self.scenario}'; "
                     f"expected one of {available_scenarios()}"
+                )
+        if self.faults is not None:
+            from repro.faults import available_fault_plans
+
+            if self.faults not in available_fault_plans():
+                raise ValueError(
+                    f"unknown fault plan '{self.faults}'; "
+                    f"expected one of {available_fault_plans()}"
                 )
 
     @classmethod
@@ -156,11 +172,20 @@ class RunKey:
             parts.append(f"sc-{self.scenario}")
         if not self.fallbacks:
             parts.append("nofb")
+        if self.faults is not None:
+            parts.append(f"fl-{self.faults}")
         return "-".join(parts).replace("/", "_")
 
 
-def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
-    """Run one SLAM configuration from scratch, recording into ``perf``."""
+def _build_system(key: RunKey, perf: PerfRecorder, watchdog_timeout: float | None = None):
+    """Instantiate the system + sequence for ``key``.
+
+    Returns ``(system, sequence, finish)`` where ``finish(result)``
+    applies any key-specific post-processing (currently the
+    droid-splatam algorithm rename).  Shared by the from-scratch
+    executor and the recovery driver so both paths configure runs
+    identically.
+    """
     # Imported here: the SLAM systems import the perf subsystem, and the
     # eval layer is the composition root — keeping the import local avoids
     # a hard dependency for callers that only build keys.
@@ -181,77 +206,109 @@ def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
         load_sequence(key.sequence, num_frames=key.num_frames), key.scenario
     )
     health = HealthConfig(enabled=key.fallbacks)
-    with perf.section(f"eval/{key.algorithm}/{key.sequence}"):
-        if key.algorithm == "splatam":
-            system = SplaTam(
-                sequence.intrinsics,
-                SplaTamConfig(
-                    tracking_iterations=key.tracking_iterations,
-                    mapping_iterations=key.mapping_iterations,
-                    health=health,
-                ),
-                perf=perf,
-                execution=key.execution,
-            )
-            return system.run(sequence, num_frames=key.num_frames)
-        if key.algorithm == "gaussian-slam":
-            system = GaussianSlam(
-                sequence.intrinsics,
-                GaussianSlamConfig(
-                    tracking_iterations=key.tracking_iterations,
-                    mapping_iterations=key.mapping_iterations,
-                    health=health,
-                ),
-                perf=perf,
-                execution=key.execution,
-            )
-            return system.run(sequence, num_frames=key.num_frames)
-        if key.algorithm == "orb":
-            system = OrbLiteSlam(sequence.intrinsics, perf=perf, execution=key.execution)
-            return system.run(sequence, num_frames=key.num_frames)
-        if key.algorithm == "droid":
-            system = DroidLiteSlam(sequence.intrinsics, perf=perf, execution=key.execution)
-            return system.run(sequence, num_frames=key.num_frames)
-        if key.algorithm in ("ags", "ags-gaussian-slam"):
-            config = AGSConfig(
-                iter_t=key.iter_t,
-                thresh_m=key.thresh_m,
-                thresh_n=key.thresh_n,
-                baseline_tracking_iterations=key.tracking_iterations,
-                enable_movement_adaptive_tracking=key.enable_mat,
-                enable_contribution_mapping=key.enable_gcm,
-            )
-            system = AgsSlam(
-                sequence.intrinsics,
-                config,
+    common = dict(perf=perf, execution=key.execution, watchdog_timeout=watchdog_timeout)
+
+    def finish(result: SlamResult) -> SlamResult:
+        return result
+
+    if key.algorithm == "splatam":
+        system = SplaTam(
+            sequence.intrinsics,
+            SplaTamConfig(
+                tracking_iterations=key.tracking_iterations,
                 mapping_iterations=key.mapping_iterations,
-                perf=perf,
-                execution=key.execution,
-                health_config=health,
-            )
-            return system.run(sequence, num_frames=key.num_frames)
-        if key.algorithm == "droid-splatam":
-            # Direct integration of the coarse tracker with SplaTAM mapping:
-            # every frame keeps the coarse pose (thresh_t below any possible
-            # covisibility disables refinement) and runs full mapping.
-            config = AGSConfig(
-                thresh_t=-1.0,
-                iter_t=0,
-                baseline_tracking_iterations=key.tracking_iterations,
-                enable_contribution_mapping=False,
-            )
-            system = AgsSlam(
-                sequence.intrinsics,
-                config,
+                health=health,
+            ),
+            **common,
+        )
+    elif key.algorithm == "gaussian-slam":
+        system = GaussianSlam(
+            sequence.intrinsics,
+            GaussianSlamConfig(
+                tracking_iterations=key.tracking_iterations,
                 mapping_iterations=key.mapping_iterations,
-                perf=perf,
-                execution=key.execution,
-                health_config=health,
-            )
-            result = system.run(sequence, num_frames=key.num_frames)
+                health=health,
+            ),
+            **common,
+        )
+    elif key.algorithm == "orb":
+        system = OrbLiteSlam(sequence.intrinsics, **common)
+    elif key.algorithm == "droid":
+        system = DroidLiteSlam(sequence.intrinsics, **common)
+    elif key.algorithm in ("ags", "ags-gaussian-slam"):
+        config = AGSConfig(
+            iter_t=key.iter_t,
+            thresh_m=key.thresh_m,
+            thresh_n=key.thresh_n,
+            baseline_tracking_iterations=key.tracking_iterations,
+            enable_movement_adaptive_tracking=key.enable_mat,
+            enable_contribution_mapping=key.enable_gcm,
+        )
+        system = AgsSlam(
+            sequence.intrinsics,
+            config,
+            mapping_iterations=key.mapping_iterations,
+            health_config=health,
+            **common,
+        )
+    elif key.algorithm == "droid-splatam":
+        # Direct integration of the coarse tracker with SplaTAM mapping:
+        # every frame keeps the coarse pose (thresh_t below any possible
+        # covisibility disables refinement) and runs full mapping.
+        config = AGSConfig(
+            thresh_t=-1.0,
+            iter_t=0,
+            baseline_tracking_iterations=key.tracking_iterations,
+            enable_contribution_mapping=False,
+        )
+        system = AgsSlam(
+            sequence.intrinsics,
+            config,
+            mapping_iterations=key.mapping_iterations,
+            health_config=health,
+            **common,
+        )
+
+        def finish(result: SlamResult) -> SlamResult:
             result.algorithm = "droid-splatam"
             return result
-    raise AssertionError(f"unhandled algorithm '{key.algorithm}'")  # pragma: no cover
+
+    else:  # pragma: no cover - KNOWN_ALGORITHMS is validated at key build
+        raise AssertionError(f"unhandled algorithm '{key.algorithm}'")
+    return system, sequence, finish
+
+
+def _execute_run(key: RunKey, perf: PerfRecorder) -> SlamResult:
+    """Run one SLAM configuration from scratch, recording into ``perf``."""
+    with perf.section(f"eval/{key.algorithm}/{key.sequence}"):
+        system, sequence, finish = _build_system(key, perf)
+        return finish(system.run(sequence, num_frames=key.num_frames))
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient run failures.
+
+    Only errors declaring themselves :class:`repro.errors.TransientError`
+    are retried; everything else (``FatalError``, plain exceptions)
+    propagates immediately.  ``max_retries`` bounds the *additional*
+    attempts after the first, and the sleep before retry ``n`` (0-based)
+    is ``min(backoff * 2**n, backoff_cap)`` seconds.
+    """
+
+    max_retries: int = 3
+    backoff: float = 0.02
+    backoff_cap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to sleep before 0-based retry ``retry_index``."""
+        return min(self.backoff * (2.0 ** retry_index), self.backoff_cap)
 
 
 class SlamService:
@@ -271,6 +328,16 @@ class SlamService:
             because :meth:`PerfRecorder.merge` serializes on the
             receiving recorder, so concurrent merges from different
             services cannot interleave and drop updates.
+        autocheckpoint_every: auto-checkpoint live runs every K frames
+            (the recovery driver's resume points).  0 — the default, for
+            bit-compatibility — disables periodic checkpoints; retries
+            then restart from scratch.
+        retry: the :class:`RetryPolicy` for transient run failures, or
+            ``None`` for the default policy.  Retries engage only when
+            the recovery driver does (a fault plan on the key, periodic
+            checkpoints, or a watchdog configured).
+        watchdog_timeout: per-stage watchdog (seconds) threaded into the
+            systems' pipelined executor; ``None`` disables it.
     """
 
     def __init__(
@@ -278,17 +345,27 @@ class SlamService:
         max_entries: int = 128,
         checkpoint_dir=None,
         perf: PerfRecorder | None = None,
+        autocheckpoint_every: int = 0,
+        retry: "RetryPolicy | None" = None,
+        watchdog_timeout: float | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if autocheckpoint_every < 0:
+            raise ValueError("autocheckpoint_every must be >= 0 (0 disables)")
         self.max_entries = max_entries
         self.checkpoint_dir = None if checkpoint_dir is None else pathlib.Path(checkpoint_dir)
         self.perf = perf or global_recorder()
+        self.autocheckpoint_every = autocheckpoint_every
+        self.retry = retry
+        self.watchdog_timeout = watchdog_timeout
         self._store: collections.OrderedDict[RunKey, SlamResult] = collections.OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.retries = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # Store management
@@ -327,6 +404,132 @@ class SlamService:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _recovery_engaged(self, key: RunKey) -> bool:
+        """Whether ``key`` runs under the recovery driver.
+
+        The plain path (no fault plan, no checkpoints, no watchdog, no
+        explicit policy) calls :func:`_execute_run` directly and stays
+        bit-and-call-compatible with the pre-recovery service.
+        """
+        return (
+            key.faults is not None
+            or self.autocheckpoint_every > 0
+            or self.watchdog_timeout is not None
+            or self.retry is not None
+        )
+
+    def _execute(self, key: RunKey, recorder: PerfRecorder) -> SlamResult:
+        if self._recovery_engaged(key):
+            return self._run_with_recovery(key, recorder)
+        return _execute_run(key, recorder)
+
+    def _run_with_recovery(self, key: RunKey, perf: PerfRecorder) -> SlamResult:
+        """Execute ``key`` with checkpoints, bounded retries and recovery.
+
+        Transient failures (:class:`repro.errors.TransientError` — injected
+        faults, flaky reads, watchdog timeouts) are retried up to
+        ``retry.max_retries`` times with exponential backoff, each retry
+        resuming from the newest *valid* on-disk checkpoint generation
+        (corrupt generations are skipped — see
+        :meth:`_newest_valid_generation`) or from scratch when none
+        survives.  Fatal errors and retry exhaustion propagate.  Because
+        session processing is deterministic and checkpoints are bit-exact
+        (PR 3), the recovered result is bit-identical to an uninterrupted
+        run.
+        """
+        from repro.faults import FaultInjector, get_fault_plan
+
+        injector = FaultInjector(get_fault_plan(key.faults)) if key.faults else None
+        policy = self.retry or RetryPolicy()
+        if self.checkpoint_dir is not None:
+            root = self.checkpoint_dir / "auto" / key.slug()
+            tmp = None
+        else:
+            # Checkpoints must hit real disk even without a configured
+            # directory — torn-write faults and generation fallback are
+            # only meaningful against actual files.
+            tmp = tempfile.TemporaryDirectory(prefix="repro-auto-ckpt-")
+            root = pathlib.Path(tmp.name)
+        generations: list[pathlib.Path] = []
+        try:
+            retries = 0
+            while True:
+                try:
+                    return self._attempt_run(key, perf, injector, root, generations)
+                except TransientError:
+                    if retries >= policy.max_retries:
+                        raise
+                    time.sleep(policy.delay(retries))
+                    retries += 1
+                    perf.count("service.retries")
+                    with self._lock:
+                        self.retries += 1
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    def _attempt_run(
+        self,
+        key: RunKey,
+        perf: PerfRecorder,
+        injector,
+        root: pathlib.Path,
+        generations: list[pathlib.Path],
+    ) -> SlamResult:
+        """One attempt of ``key``: build, arm faults, resume, drive, finish."""
+        with perf.section(f"eval/{key.algorithm}/{key.sequence}"):
+            system, sequence, finish = _build_system(
+                key, perf, watchdog_timeout=self.watchdog_timeout
+            )
+            total = min(key.num_frames, len(sequence))
+            if injector is not None:
+                injector.arm(system, total)
+                sequence = injector.wrap_source(sequence)
+            every = self.autocheckpoint_every
+            if every <= 0:
+                # Whole-run attempts: the configured executor (sequential
+                # or pipelined + watchdog) drives the frames; retries
+                # restart from scratch.
+                return finish(system.run(sequence, num_frames=total))
+            # Periodic-checkpoint attempts drive frames through the
+            # synchronous feed loop (bit-identical to run(); the PR 4
+            # pipelined overlap only engages inside run()).
+            state = self._newest_valid_generation(generations)
+            if state is not None:
+                system.restore(state)
+                start = state.next_index
+                perf.count("service.recoveries")
+                with self._lock:
+                    self.recoveries += 1
+            else:
+                system.begin(getattr(sequence, "name", "stream"))
+                start = 0
+            for index in range(start, total):
+                system.feed(sequence[index], index)
+                done = index + 1
+                if done % every == 0 and done < total:
+                    path = root / f"gen-{done:05d}"
+                    save_session_state(system.state(), path)
+                    generations.append(path)
+                    if injector is not None:
+                        injector.after_checkpoint(path, index, total)
+            return finish(system.finalize())
+
+    def _newest_valid_generation(self, generations: list[pathlib.Path]) -> SessionState | None:
+        """Load the newest checkpoint generation that passes integrity.
+
+        Corrupt generations (torn writes, bit rot) are dropped from the
+        list and the next-older one is tried — the fallback ladder that
+        makes a torn checkpoint cost one generation of progress, not the
+        run.  Returns ``None`` when no valid generation survives.
+        """
+        while generations:
+            try:
+                return load_session_state(generations[-1])
+            except CheckpointCorruptError:
+                generations.pop()
+        return None
+
     def run(self, key: RunKey) -> SlamResult:
         """Return the result for ``key``, executing it on a miss.
 
@@ -342,7 +545,14 @@ class SlamService:
         if result is not None:
             return result
         recorder = PerfRecorder()
-        result = _execute_run(key, recorder)
+        try:
+            result = self._execute(key, recorder)
+        except BaseException:
+            # Failed runs still surface their perf story (retry counters,
+            # partial sections) before the failure propagates.
+            with self._lock:
+                self.perf.merge(recorder)
+            raise
         with self._lock:
             # A concurrent caller may have landed the same key first; keep
             # the stored instance so repeated lookups stay identical.
@@ -355,7 +565,9 @@ class SlamService:
             self.perf.merge(recorder)
         return result
 
-    def run_many(self, keys, workers: int = 1) -> list[SlamResult]:
+    def run_many(
+        self, keys, workers: int = 1, return_exceptions: bool = False
+    ) -> list[SlamResult]:
         """Execute several run keys, optionally on a worker pool.
 
         Duplicate keys are executed once.  With ``workers > 1`` the
@@ -366,11 +578,29 @@ class SlamService:
         store), so a batch larger than ``max_entries`` still executes
         every run exactly once — eviction only limits what is *retained*.
 
+        Failures are isolated per key: one run raising (after its
+        retries) never poisons the batch — every surviving key still
+        executes, completes and is stored.  Afterwards the failures are
+        reported together as :class:`repro.errors.RunManyError` (mapping
+        each failed key to its exception), or — with
+        ``return_exceptions=True`` — returned in-place in the result
+        list instead of raised.
+
         Returns the results in the order of ``keys``.
         """
         keys = list(keys)
+        failures: dict[RunKey, BaseException] = {}
+
         if workers <= 1:
-            return [self.run(key) for key in keys]
+            outcomes: dict[RunKey, SlamResult] = {}
+            for key in dict.fromkeys(keys):
+                try:
+                    outcomes[key] = self.run(key)
+                except Exception as exc:
+                    failures[key] = exc
+            if failures and not return_exceptions:
+                raise RunManyError(failures)
+            return [outcomes.get(key, failures.get(key)) for key in keys]
 
         results: dict[RunKey, SlamResult] = {}
         with self._lock:
@@ -384,22 +614,30 @@ class SlamService:
 
         def _worker(key: RunKey):
             recorder = PerfRecorder()
-            result = _execute_run(key, recorder)
-            return key, result, recorder
+            try:
+                result = self._execute(key, recorder)
+            except Exception as exc:
+                return key, None, recorder, exc
+            return key, result, recorder, None
 
         if missing:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                for key, result, recorder in pool.map(_worker, missing):
+                for key, result, recorder, error in pool.map(_worker, missing):
                     with self._lock:
+                        self.perf.merge(recorder)
+                        if error is not None:
+                            failures[key] = error
+                            continue
                         existing = self._store.get(key)
                         if existing is not None:
                             self._store.move_to_end(key)
                             result = existing
                         else:
                             self._put(key, result)
-                        self.perf.merge(recorder)
                     results[key] = result
-        return [results[key] for key in keys]
+        if failures and not return_exceptions:
+            raise RunManyError(failures)
+        return [results.get(key, failures.get(key)) for key in keys]
 
     # ------------------------------------------------------------------
     # Disk checkpoints

@@ -1,0 +1,21 @@
+"""Deterministic fault injection (see :mod:`repro.faults.injector`)."""
+
+from repro.faults.injector import (
+    CheckpointFaults,
+    FaultInjector,
+    FaultPlan,
+    StageFaults,
+    StallFaults,
+)
+from repro.faults.plans import FAULT_PLANS, available_fault_plans, get_fault_plan
+
+__all__ = [
+    "CheckpointFaults",
+    "FAULT_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "StageFaults",
+    "StallFaults",
+    "available_fault_plans",
+    "get_fault_plan",
+]

@@ -1,0 +1,369 @@
+"""Deterministic fault injection for sessions, sources and checkpoints.
+
+Robustness claims are only testable if failures are *reproducible*.  This
+module injects faults — stage exceptions in ``_track``/``_map``, flaky
+frame-source reads, stage stalls that trip the pipeline watchdog, and
+torn checkpoint writes — on a schedule that is a pure function of the
+fault plan and the run length, using exactly the
+``SeedSequence((seed, domain, index))`` per-index draws of
+:mod:`repro.datasets.scenarios`.  Every fault therefore fires at the same
+frame index on every run of the same plan, independent of execution mode,
+retry count or process restarts, which is what lets the recovery
+invariant be *property-tested*: a run that crashes at an injected fault
+and resumes from checkpoint must be bit-identical to the uninterrupted
+run.
+
+Two layers with different statefulness:
+
+* The **schedule** (which indices a fault is eligible to fire at) is
+  stateless and pure — see :meth:`FaultInjector.schedule`.
+* The **firing bookkeeping** is stateful: each fault carries a
+  ``max_fires`` budget consumed across every attempt sharing the
+  injector.  A retried attempt that replays an already-fired index does
+  not re-crash, so bounded-retry recovery converges; the budget is the
+  deterministic analogue of "the fault was transient".
+
+Schedules guarantee at least one eligible index whenever the fault's
+window is non-empty (falling back to the window's first frame if no
+probability draw fires), so every registered plan exercises its failure
+path at any realistic run length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from repro.datasets.scenarios import Window
+from repro.errors import InjectedCrashError, InjectedFaultError
+
+__all__ = [
+    "CheckpointFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "StageFaults",
+    "StallFaults",
+]
+
+# Seed domains, disjoint from the scenario domains (1-4) so a fault plan
+# sharing a seed with a scenario could never correlate with its draws.
+_DOMAIN_TRACK = 101
+_DOMAIN_MAP = 102
+_DOMAIN_SOURCE = 103
+_DOMAIN_CHECKPOINT = 104
+_DOMAIN_STALL = 105
+
+_DOMAIN_NAMES = {
+    _DOMAIN_TRACK: "track",
+    _DOMAIN_MAP: "map",
+    _DOMAIN_SOURCE: "source",
+    _DOMAIN_CHECKPOINT: "checkpoint",
+    _DOMAIN_STALL: "stall",
+}
+
+# How a torn checkpoint write manifests on disk.  All three are detected
+# by load_session_state and raise CheckpointCorruptError.
+_TEAR_MODES = ("truncate", "bitflip", "drop_manifest")
+
+
+def _rng_at(seed: int, domain: int, index: int) -> np.random.Generator:
+    """A fresh generator for (plan, domain, frame) — stateless."""
+    return np.random.default_rng(np.random.SeedSequence((seed, domain, index)))
+
+
+@dataclasses.dataclass(frozen=True)
+class StageFaults:
+    """Injected exceptions for one stage (track/map/source read).
+
+    ``fatal=True`` raises :class:`~repro.errors.InjectedCrashError` (a
+    ``FatalError`` the service must *not* retry) instead of the
+    transient :class:`~repro.errors.InjectedFaultError`.
+    """
+
+    probability: float = 0.3
+    window: Window = Window()
+    max_fires: int = 1
+    fatal: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointFaults:
+    """Torn checkpoint writes: corrupt the checkpoint just written.
+
+    The tear mode (truncated npz, bit-flipped byte, deleted manifest) is
+    itself drawn deterministically per index from ``modes``.
+    """
+
+    probability: float = 0.7
+    window: Window = Window()
+    max_fires: int = 1
+    modes: tuple[str, ...] = _TEAR_MODES
+
+    def __post_init__(self) -> None:
+        for mode in self.modes:
+            if mode not in _TEAR_MODES:
+                raise ValueError(f"unknown tear mode '{mode}'; expected one of {_TEAR_MODES}")
+
+
+@dataclasses.dataclass(frozen=True)
+class StallFaults:
+    """Injected stage stalls: sleep ``delay`` seconds before the stage.
+
+    Long enough relative to a configured ``watchdog_timeout``, a stall
+    converts into a :class:`~repro.errors.StageTimeoutError` on the
+    pipelined executor; without a watchdog it is only a slowdown.
+    """
+
+    delay: float = 0.25
+    probability: float = 0.3
+    window: Window = Window()
+    max_fires: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One named, seeded bundle of faults (mirror of ``ScenarioSpec``)."""
+
+    name: str
+    seed: int = 0
+    track_errors: StageFaults | None = None
+    map_errors: StageFaults | None = None
+    source_errors: StageFaults | None = None
+    checkpoint_tears: CheckpointFaults | None = None
+    map_stalls: StallFaults | None = None
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return all(
+            getattr(self, field) is None
+            for field in (
+                "track_errors",
+                "map_errors",
+                "source_errors",
+                "checkpoint_tears",
+                "map_stalls",
+            )
+        )
+
+    @property
+    def max_total_fires(self) -> int:
+        """Upper bound on fires across all domains (sizes retry budgets)."""
+        return sum(
+            fault.max_fires
+            for fault in (
+                self.track_errors,
+                self.map_errors,
+                self.source_errors,
+                self.map_stalls,
+            )
+            if fault is not None
+        )
+
+
+class _FlakySource:
+    """A frame-source wrapper whose reads fail on the injector's schedule.
+
+    Frame *content* is never altered — a read either raises
+    :class:`~repro.errors.InjectedFaultError` or delegates untouched, so
+    recovered runs stay bit-identical to clean ones.
+    """
+
+    def __init__(self, source, injector: "FaultInjector") -> None:
+        self.source = source
+        self.injector = injector
+        self.intrinsics = source.intrinsics
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    @property
+    def dataset(self) -> str:
+        return getattr(self.source, "dataset", "stream")
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def stream(self, start: int = 0, stop: int | None = None):
+        stop = len(self) if stop is None else min(stop, len(self))
+        for index in range(start, stop):
+            yield index, self[index]
+
+    def ground_truth_trajectory(self):
+        return self.source.ground_truth_trajectory()
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self)
+        self.injector.maybe_raise(
+            self.injector.plan.source_errors, _DOMAIN_SOURCE, index, len(self)
+        )
+        return self.source[index]
+
+
+class FaultInjector:
+    """Fires a :class:`FaultPlan` at deterministic frame indices.
+
+    One injector instance spans *all* attempts of one logical run: the
+    schedule is pure, the ``max_fires`` bookkeeping is shared, so a
+    bounded number of retries is guaranteed to out-live the plan.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._fired: dict[int, int] = {}
+        self._schedules: dict[tuple[int, int], frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Pure schedule
+    # ------------------------------------------------------------------
+    def _fault_for(self, domain: int):
+        return {
+            _DOMAIN_TRACK: self.plan.track_errors,
+            _DOMAIN_MAP: self.plan.map_errors,
+            _DOMAIN_SOURCE: self.plan.source_errors,
+            _DOMAIN_CHECKPOINT: self.plan.checkpoint_tears,
+            _DOMAIN_STALL: self.plan.map_stalls,
+        }[domain]
+
+    def schedule(self, domain: int, total: int) -> frozenset[int]:
+        """Indices in ``[0, total)`` where ``domain`` is eligible to fire.
+
+        A pure function of (plan, total): per-index probability draws
+        within the fault's window, with the window's first frame forced
+        in when no draw fires (every non-empty window fires somewhere).
+        """
+        fault = self._fault_for(domain)
+        if fault is None or total <= 0:
+            return frozenset()
+        cached = self._schedules.get((domain, total))
+        if cached is not None:
+            return cached
+        lo, hi = fault.window.bounds(total)
+        hi = min(hi, total)
+        eligible = {
+            index
+            for index in range(lo, hi)
+            if _rng_at(self.plan.seed, domain, index).random() < fault.probability
+        }
+        if not eligible and lo < hi:
+            eligible = {lo}
+        result = frozenset(eligible)
+        self._schedules[(domain, total)] = result
+        return result
+
+    def fires_at(self, domain: int, index: int, total: int) -> bool:
+        """Whether ``domain`` is scheduled at ``index`` (ignores budget)."""
+        return index in self.schedule(domain, total)
+
+    # ------------------------------------------------------------------
+    # Stateful firing
+    # ------------------------------------------------------------------
+    @property
+    def fired(self) -> dict[str, int]:
+        """Fires consumed so far, keyed by domain name (telemetry/tests)."""
+        return {_DOMAIN_NAMES[domain]: count for domain, count in sorted(self._fired.items())}
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self._fired.values())
+
+    def reset(self) -> None:
+        """Forget all consumed fires (a brand-new logical run)."""
+        self._fired.clear()
+
+    def _consume(self, fault, domain: int, index: int, total: int) -> bool:
+        if fault is None or not self.fires_at(domain, index, total):
+            return False
+        if self._fired.get(domain, 0) >= fault.max_fires:
+            return False
+        self._fired[domain] = self._fired.get(domain, 0) + 1
+        return True
+
+    def maybe_raise(self, fault, domain: int, index: int, total: int) -> None:
+        """Consume one fire and raise; no-op off-schedule/over-budget."""
+        if not self._consume(fault, domain, index, total):
+            return
+        kind = InjectedCrashError if getattr(fault, "fatal", False) else InjectedFaultError
+        raise kind(
+            f"injected {_DOMAIN_NAMES[domain]} fault "
+            f"(plan '{self.plan.name}', frame {index})"
+        )
+
+    # ------------------------------------------------------------------
+    # Arming points
+    # ------------------------------------------------------------------
+    def arm(self, system, total: int) -> None:
+        """Wrap ``system._track`` / ``system._map`` with the plan's faults.
+
+        Faults fire *before* the stage body executes, so an injected
+        crash never leaves stage state half-mutated — the fault point is
+        exactly a frame boundary, which is what makes checkpoint
+        recovery bit-exact.  Idempotent per system instance.
+        """
+        plan = self.plan
+        if getattr(system, "_fault_injector", None) is self:
+            return
+        if plan.track_errors is not None:
+            original_track = system._track
+
+            def _faulted_track(index, frame, __orig=original_track):
+                self.maybe_raise(plan.track_errors, _DOMAIN_TRACK, index, total)
+                return __orig(index, frame)
+
+            system._track = _faulted_track
+        if plan.map_errors is not None or plan.map_stalls is not None:
+            original_map = system._map
+
+            def _faulted_map(index, frame, tracked, __orig=original_map):
+                if self._consume(plan.map_stalls, _DOMAIN_STALL, index, total):
+                    time.sleep(plan.map_stalls.delay)
+                self.maybe_raise(plan.map_errors, _DOMAIN_MAP, index, total)
+                return __orig(index, frame, tracked)
+
+            system._map = _faulted_map
+        system._fault_injector = self
+
+    def wrap_source(self, source):
+        """Wrap a frame source with the plan's read faults (if any)."""
+        if self.plan.source_errors is None:
+            return source
+        return _FlakySource(source, self)
+
+    def after_checkpoint(self, directory, index: int, total: int) -> str | None:
+        """Corrupt a just-written checkpoint if a tear is scheduled here.
+
+        Returns the tear mode applied (``"truncate"`` / ``"bitflip"`` /
+        ``"drop_manifest"``) or ``None``.  The damage is exactly what a
+        crash mid-write or storage bit-rot produces; the loader detects
+        all three and recovery falls back to the previous generation.
+        """
+        import pathlib
+
+        tears = self.plan.checkpoint_tears
+        if not self._consume(tears, _DOMAIN_CHECKPOINT, index, total):
+            return None
+        directory = pathlib.Path(directory)
+        rng = _rng_at(self.plan.seed, _DOMAIN_CHECKPOINT, index)
+        rng.random()  # skip the scheduling draw; next draws pick the mode
+        mode = tears.modes[int(rng.integers(len(tears.modes)))]
+        npz = directory / "state.npz"
+        if mode == "truncate":
+            data = npz.read_bytes()
+            npz.write_bytes(data[: max(len(data) // 2, 1)])
+        elif mode == "bitflip":
+            data = bytearray(npz.read_bytes())
+            position = int(rng.integers(len(data) // 2, len(data)))
+            data[position] ^= 0xFF
+            npz.write_bytes(bytes(data))
+        else:  # drop_manifest
+            os.unlink(directory / "manifest.json")
+        return mode

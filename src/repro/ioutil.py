@@ -1,0 +1,44 @@
+"""Crash-safe file writing shared by checkpoints, reports and benchmarks.
+
+A process can die at any byte of a ``write()`` — an interrupted
+checkpoint or benchmark baseline must never leave a half-written file
+where a valid one used to be.  Every writer of load-bearing files
+(session checkpoints, ``BENCH_*.json`` gate baselines, perf reports)
+goes through these helpers: the content is written to a temporary
+sibling in the same directory and moved into place with
+:func:`os.replace`, which is atomic on POSIX and Windows.  Readers
+therefore observe either the previous complete file or the new complete
+file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path, data: bytes) -> pathlib.Path:
+    """Write ``data`` to ``path`` atomically (tmp sibling + ``os.replace``)."""
+    path = pathlib.Path(path)
+    # The tmp file must live on the same filesystem for os.replace to be
+    # atomic; a sibling in the target directory guarantees that.
+    fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".tmp-", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (tmp sibling + ``os.replace``)."""
+    return atomic_write_bytes(path, text.encode(encoding))

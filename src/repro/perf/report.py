@@ -11,16 +11,23 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.ioutil import atomic_write_text
+
 __all__ = ["ROBUSTNESS_COUNTERS", "build_report", "format_report", "write_json_report"]
 
 # The session-health counters every report surfaces explicitly (zero
 # when they never fired): a clean run *showing* zero degraded frames is
-# evidence, a missing key is just ambiguity.
+# evidence, a missing key is just ambiguity.  The PR 7 fault-tolerance
+# counters (watchdog trips, service retries/recoveries) follow the same
+# rule: silent runs report them as explicit zeros.
 ROBUSTNESS_COUNTERS = (
     "session.frames_degraded",
     "session.tracking_fallbacks",
     "session.relocalizations",
     "session.pipeline_stalls",
+    "session.watchdog_timeouts",
+    "service.retries",
+    "service.recoveries",
 )
 
 
@@ -82,5 +89,5 @@ def write_json_report(recorder, path, extra: dict | None = None) -> dict:
     """Serialize ``build_report`` output to ``path``; returns the report."""
     report = build_report(recorder, extra=extra)
     target = pathlib.Path(path)
-    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(target, json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report

@@ -76,6 +76,7 @@ class GaussianSlam(SessionRunner):
         config: GaussianSlamConfig | None = None,
         perf: PerfRecorder | None = None,
         execution: str = "sequential",
+        watchdog_timeout: float | None = None,
     ) -> None:
         self.config = config or GaussianSlamConfig()
         super().__init__(
@@ -83,6 +84,7 @@ class GaussianSlam(SessionRunner):
             collect_trace=self.config.collect_trace,
             perf=perf,
             execution=execution,
+            watchdog_timeout=watchdog_timeout,
         )
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations

@@ -52,12 +52,15 @@ import json
 import pathlib
 import queue as queue_module
 import threading
+import zlib
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.errors import CheckpointCorruptError, StageTimeoutError
 from repro.gaussians.camera import Intrinsics, Pose
 from repro.gaussians.model import GaussianModel
+from repro.ioutil import atomic_write_bytes, atomic_write_text
 from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.slam.results import FrameResult, SlamResult
 from repro.workloads import (
@@ -87,7 +90,11 @@ __all__ = [
 CHECKPOINT_MANIFEST = "manifest.json"
 CHECKPOINT_ARRAYS = "state.npz"
 CHECKPOINT_FORMAT = "repro-slam-session"
-CHECKPOINT_VERSION = 1
+# Version 2 added per-array CRC-32 checksums to the manifest (and made
+# both files atomic writes).  Loading verifies the version exactly: a
+# checkpoint from a different format generation is rejected as corrupt
+# rather than risking a silently wrong partial restore.
+CHECKPOINT_VERSION = 2
 
 EXECUTION_MODES = ("sequential", "pipelined")
 
@@ -110,11 +117,33 @@ class _TwoStagePipeline:
         self._submitted = 0
         self._completed = 0
 
-    def submit(self, item) -> None:
-        """Hand one tracked frame to the map stage (blocks when full)."""
+    def submit(self, item, timeout: float | None = None) -> None:
+        """Hand one tracked frame to the map stage (blocks when full).
+
+        With ``timeout`` (the stage watchdog) a full queue that makes no
+        completion progress for ``timeout`` seconds raises
+        :class:`StageTimeoutError` — a stalled map stage must not hang
+        the track stage forever.
+        """
         with self._cond:
             self._submitted += 1
-        self.queue.put(item)
+            before = self._completed
+        if timeout is None:
+            self.queue.put(item)
+            return
+        while True:
+            try:
+                self.queue.put(item, timeout=timeout)
+                return
+            except queue_module.Full:
+                with self._cond:
+                    progressed = self._completed > before
+                    before = self._completed
+                if not progressed:
+                    raise StageTimeoutError(
+                        f"map stage made no progress for {timeout:g}s with the "
+                        "pipeline queue full"
+                    ) from None
 
     def mark_completed(self) -> None:
         """Acknowledge one map-stage completion (worker thread)."""
@@ -122,13 +151,28 @@ class _TwoStagePipeline:
             self._completed += 1
             self._cond.notify_all()
 
-    def drain(self) -> bool:
-        """Wait until every submitted map completed; True if it blocked."""
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted map completed; True if it blocked.
+
+        With ``timeout`` (the stage watchdog), a wait that sees no
+        completion progress for ``timeout`` seconds raises
+        :class:`StageTimeoutError`.
+        """
         with self._cond:
             if self._completed >= self._submitted:
                 return False
             while self._completed < self._submitted:
-                self._cond.wait()
+                before = self._completed
+                signalled = self._cond.wait(timeout)
+                if (
+                    timeout is not None
+                    and not signalled
+                    and self._completed == before
+                ):
+                    raise StageTimeoutError(
+                        f"map stage made no progress for {timeout:g}s while "
+                        "awaiting the dependency gate"
+                    )
             return True
 
 
@@ -274,6 +318,7 @@ class SessionRunner:
         perf: PerfRecorder | None = None,
         execution: str = "sequential",
         pipeline_depth: int = 2,
+        watchdog_timeout: float | None = None,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ValueError(
@@ -281,11 +326,19 @@ class SessionRunner:
             )
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive (or None to disable)")
         self.intrinsics = intrinsics
         self.collect_trace = collect_trace
         self.perf = perf or NULL_RECORDER
         self.execution = execution
         self.pipeline_depth = pipeline_depth
+        # Stage watchdog for pipelined runs: a submitted _map stage that
+        # makes no progress for this many seconds raises StageTimeoutError
+        # (a TransientError), counted as session.watchdog_timeouts, with
+        # the session recovered to the last fully-mapped frame.  None
+        # disables the watchdog (the default; also settable post-init).
+        self.watchdog_timeout = watchdog_timeout
         self._session_sequence: str | None = None
         self._session_result: SlamResult | None = None
         self._session_trace: SequenceTrace | None = None
@@ -320,7 +373,7 @@ class SessionRunner:
         analogue of the hardware's GPE back-pressure on the FC engine).
         """
         pipeline = self._pipeline
-        if pipeline is not None and pipeline.drain():
+        if pipeline is not None and pipeline.drain(self.watchdog_timeout):
             self.perf.count("session.pipeline_stalls")
 
     def _final_model(self) -> GaussianModel | None:
@@ -441,6 +494,7 @@ class SessionRunner:
 
         worker = threading.Thread(target=_map_stage, name="session-map-stage", daemon=True)
         worker.start()
+        timeout: StageTimeoutError | None = None
         try:
             for index in range(total):
                 if failures:
@@ -449,6 +503,15 @@ class SessionRunner:
                 try:
                     with perf.section("session/track_overlap"):
                         tracked = self._track(index, frame)
+                    pipeline.submit((index, frame, tracked), self.watchdog_timeout)
+                except StageTimeoutError as exc:
+                    # The watchdog declared the in-flight map stage
+                    # stalled (via the dependency gate inside _track or a
+                    # full submit queue).  Convert to a transient,
+                    # recoverable failure instead of hanging forever.
+                    perf.count("session.watchdog_timeouts")
+                    timeout = exc
+                    break
                 except BaseException as exc:
                     # A map failure can leave mapping state half-mutated;
                     # a secondary track error it provokes must not mask
@@ -456,14 +519,43 @@ class SessionRunner:
                     if failures:
                         raise failures[0] from exc
                     raise
-                pipeline.submit((index, frame, tracked))
         finally:
+            clean_shutdown = self._shutdown_pipeline(pipeline, worker)
+            self._pipeline = None
+        if not clean_shutdown:
+            # The map stage is still wedged past the shutdown grace: the
+            # worker may yet mutate mapping state, so a replay would race
+            # with it.  Drop the session (state() raises) instead of
+            # checkpointing torn state.
+            self._session_result = None
+            self._session_trace = None
+        elif failures or timeout is not None:
+            self._recover_after_map_failure(sequence)
+        if failures:
+            raise failures[0]
+        if timeout is not None:
+            raise timeout
+
+    def _shutdown_pipeline(self, pipeline: _TwoStagePipeline, worker: threading.Thread) -> bool:
+        """Stop the map worker; False when it stayed wedged past the grace.
+
+        Without a watchdog the waits are unbounded (matching the
+        pre-watchdog behaviour).  With one, a stage stalled beyond a
+        grace of several watchdog periods is abandoned — the worker
+        thread is a daemon, so an unrecoverable hang cannot block
+        interpreter exit either.
+        """
+        if self.watchdog_timeout is None:
             pipeline.queue.put(None)
             worker.join()
-            self._pipeline = None
-        if failures:
-            self._recover_after_map_failure(sequence)
-            raise failures[0]
+            return True
+        grace = max(10.0 * self.watchdog_timeout, 1.0)
+        try:
+            pipeline.queue.put(None, timeout=grace)
+        except queue_module.Full:
+            return False
+        worker.join(grace)
+        return not worker.is_alive()
 
     def _recover_after_map_failure(self, sequence) -> None:
         """Rebuild a consistent session at the last fully-mapped frame.
@@ -634,6 +726,11 @@ def _frame_trace_from_payload(payload: dict) -> FrameTrace:
     )
 
 
+def _array_checksum(array: np.ndarray) -> int:
+    """CRC-32 over an array's raw bytes (C-order), for the manifest."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
 def save_session_state(state: SessionState, directory) -> pathlib.Path:
     """Persist a :class:`SessionState` as ``state.npz`` + ``manifest.json``.
 
@@ -642,6 +739,14 @@ def save_session_state(state: SessionState, directory) -> pathlib.Path:
     tree that stitches the arrays back together — goes to the JSON
     manifest.  Both halves round-trip bit-exactly (``np.savez`` is
     lossless and JSON preserves Python floats via ``repr``).
+
+    The write is crash-safe: each file lands via a temporary sibling and
+    :func:`os.replace`, and the manifest — which carries a per-array
+    CRC-32 checksum table — is written *last*.  A crash at any point
+    leaves either the previous complete checkpoint or a state the loader
+    rejects as :class:`CheckpointCorruptError` (missing manifest, or a
+    manifest whose checksums do not match the array bundle); a torn
+    checkpoint can never be silently restored.
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -666,19 +771,71 @@ def save_session_state(state: SessionState, directory) -> pathlib.Path:
         ),
         "payload": _externalize(state.payload, "payload", arrays),
     }
-    np.savez_compressed(directory / CHECKPOINT_ARRAYS, **arrays)
-    (directory / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest, indent=1))
+    manifest["checksums"] = {key: _array_checksum(value) for key, value in arrays.items()}
+    # np.savez appends ".npz" to plain string paths, so bundle into an
+    # in-memory buffer first and let the atomic writer own the filename.
+    import io
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(directory / CHECKPOINT_ARRAYS, buffer.getvalue())
+    atomic_write_text(directory / CHECKPOINT_MANIFEST, json.dumps(manifest, indent=1))
     return directory
 
 
 def load_session_state(directory) -> SessionState:
-    """Load a checkpoint written by :func:`save_session_state`."""
+    """Load a checkpoint written by :func:`save_session_state`.
+
+    Every integrity violation — missing directory or manifest, truncated
+    or otherwise unreadable array bundle, a bit-flipped array failing its
+    manifest checksum, an unknown format or a version mismatch — raises
+    :class:`repro.errors.CheckpointCorruptError` *before* any state is
+    materialized, so a corrupt checkpoint can never partially restore a
+    session.  Recovery layers respond by falling back to an older
+    checkpoint generation.
+    """
     directory = pathlib.Path(directory)
-    manifest = json.loads((directory / CHECKPOINT_MANIFEST).read_text())
+    manifest_path = directory / CHECKPOINT_MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise CheckpointCorruptError(f"{directory}: missing {CHECKPOINT_MANIFEST}") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(f"{directory}: unreadable manifest ({exc})") from exc
     if manifest.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"{directory} is not a session checkpoint")
-    with np.load(directory / CHECKPOINT_ARRAYS, allow_pickle=False) as bundle:
-        arrays = {key: bundle[key] for key in bundle.files}
+        raise CheckpointCorruptError(f"{directory} is not a session checkpoint")
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointCorruptError(
+            f"{directory}: checkpoint format version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    try:
+        with np.load(directory / CHECKPOINT_ARRAYS, allow_pickle=False) as bundle:
+            arrays = {key: bundle[key] for key in bundle.files}
+    except FileNotFoundError:
+        raise CheckpointCorruptError(f"{directory}: missing {CHECKPOINT_ARRAYS}") from None
+    except Exception as exc:
+        # np.load surfaces truncation/corruption as zipfile/OS/value
+        # errors depending on where the damage sits; all mean "torn".
+        raise CheckpointCorruptError(
+            f"{directory}: unreadable array bundle ({exc})"
+        ) from exc
+    checksums = manifest.get("checksums")
+    if not isinstance(checksums, dict):
+        raise CheckpointCorruptError(f"{directory}: manifest has no checksum table")
+    if set(checksums) != set(arrays):
+        raise CheckpointCorruptError(
+            f"{directory}: array bundle does not match the manifest "
+            f"({len(arrays)} arrays vs {len(checksums)} checksums)"
+        )
+    for key, expected in checksums.items():
+        actual = _array_checksum(arrays[key])
+        if actual != expected:
+            raise CheckpointCorruptError(
+                f"{directory}: checksum mismatch for array '{key}' "
+                f"({actual:#010x} != {expected:#010x})"
+            )
     frames = [
         _frame_result_from_payload(_internalize(entry, arrays))
         for entry in manifest["frames"]

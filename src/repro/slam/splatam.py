@@ -77,6 +77,7 @@ class SplaTam(SessionRunner):
         config: SplaTamConfig | None = None,
         perf: PerfRecorder | None = None,
         execution: str = "sequential",
+        watchdog_timeout: float | None = None,
     ) -> None:
         self.config = config or SplaTamConfig()
         super().__init__(
@@ -84,6 +85,7 @@ class SplaTam(SessionRunner):
             collect_trace=self.config.collect_trace,
             perf=perf,
             execution=execution,
+            watchdog_timeout=watchdog_timeout,
         )
         tracker_config = dataclasses.replace(
             self.config.tracker, num_iterations=self.config.tracking_iterations

@@ -1,0 +1,276 @@
+"""Fault injection + recovery: the PR 7 headline invariants.
+
+1. **Determinism** — a fault plan's schedule is a pure function of
+   (plan, run length): same indices on every run, independent of firing
+   bookkeeping or retries.
+2. **Disarmed bit-identity** — the recovery driver (periodic
+   checkpoints, feed-loop execution) without any fault plan produces
+   results bit-identical to the plain executor.
+3. **Recovery bit-identity** — a run that crashes at every injected
+   fault point and resumes from checkpoints is bit-identical to the
+   uninterrupted run, for all five systems.
+4. **Retry semantics** — transient faults are retried within the
+   bounded budget; fatal faults propagate immediately; exhaustion
+   surfaces the last transient cause; ``run_many`` isolates per-key
+   failures.
+
+The full plan × system matrix runs in the slow lane; tier-1 covers the
+composite ``chaos`` plan on every system plus the special-path plans
+(torn checkpoints, stalls, fatal crashes) on one system each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InjectedCrashError,
+    InjectedFaultError,
+    RunManyError,
+    StageTimeoutError,
+    TransientError,
+)
+from repro.eval.service import RetryPolicy, RunKey, SlamService
+from repro.faults import FaultInjector, available_fault_plans, get_fault_plan
+from repro.faults.injector import _DOMAIN_MAP, _DOMAIN_SOURCE, _DOMAIN_TRACK
+from repro.perf import PerfRecorder, build_report
+
+CHEAP = dict(
+    sequence="desk", num_frames=6, tracking_iterations=4, mapping_iterations=2
+)
+SYSTEMS = ("splatam", "gaussian-slam", "orb", "droid", "ags")
+TRANSIENT_PLANS = tuple(
+    name for name in available_fault_plans() if name != "worker-crash"
+)
+
+
+def _key(algorithm: str, **overrides) -> RunKey:
+    params = dict(CHEAP)
+    params.update(overrides)
+    return RunKey(algorithm=algorithm, **params)
+
+
+def _trajectory(result) -> np.ndarray:
+    return np.array([f.estimated_pose.as_matrix() for f in result.frames])
+
+
+def assert_results_identical(a, b):
+    """Bit-identity over everything a recovered run must reproduce."""
+    assert len(a.frames) == len(b.frames)
+    assert np.array_equal(_trajectory(a), _trajectory(b))
+    for fa, fb in zip(a.frames, b.frames):
+        assert fa.frame_index == fb.frame_index
+        assert fa.tracking_loss == fb.tracking_loss
+        assert fa.mapping_loss == fb.mapping_loss
+        assert fa.is_keyframe == fb.is_keyframe
+        assert fa.num_gaussians == fb.num_gaussians
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    """One uninterrupted (fault-free, plain-path) run per system."""
+    service = SlamService(perf=PerfRecorder())
+    return {algo: service.run(_key(algo)) for algo in SYSTEMS}
+
+
+# ---------------------------------------------------------------------------
+# Plan determinism
+# ---------------------------------------------------------------------------
+def test_fault_schedule_is_pure_and_repeatable():
+    plan = get_fault_plan("chaos")
+    first = FaultInjector(plan)
+    second = FaultInjector(plan)
+    for domain in (_DOMAIN_TRACK, _DOMAIN_MAP, _DOMAIN_SOURCE):
+        assert first.schedule(domain, 20) == second.schedule(domain, 20)
+    # Consuming fires does not perturb the schedule.
+    index = min(first.schedule(_DOMAIN_TRACK, 20))
+    with pytest.raises(InjectedFaultError):
+        first.maybe_raise(plan.track_errors, _DOMAIN_TRACK, index, 20)
+    assert first.schedule(_DOMAIN_TRACK, 20) == second.schedule(_DOMAIN_TRACK, 20)
+
+
+def test_every_registered_plan_fires_and_fits_the_retry_budget():
+    for name in available_fault_plans():
+        plan = get_fault_plan(name)
+        injector = FaultInjector(plan)
+        scheduled = any(
+            injector.schedule(domain, 10)
+            for domain in (_DOMAIN_TRACK, _DOMAIN_MAP, _DOMAIN_SOURCE)
+        ) or plan.checkpoint_tears is not None or plan.map_stalls is not None
+        assert scheduled, f"plan '{name}' never fires at 10 frames"
+        if name != "worker-crash":
+            assert plan.max_total_fires <= RetryPolicy().max_retries, name
+
+
+def test_fire_budget_is_shared_across_attempts():
+    plan = get_fault_plan("track-crash")
+    injector = FaultInjector(plan)
+    total_budget = plan.track_errors.max_fires
+    fires = 0
+    for _attempt in range(total_budget + 3):
+        for index in range(10):
+            try:
+                injector.maybe_raise(plan.track_errors, _DOMAIN_TRACK, index, 10)
+            except InjectedFaultError:
+                fires += 1
+    assert fires == total_budget
+    assert injector.total_fired == total_budget
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity invariants
+# ---------------------------------------------------------------------------
+def test_disarmed_recovery_driver_is_bit_identical(clean_results):
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    result = service.run(_key("splatam"))
+    assert_results_identical(clean_results["splatam"], result)
+    assert service.retries == 0
+    assert service.recoveries == 0
+
+
+@pytest.mark.parametrize("algorithm", SYSTEMS)
+def test_chaos_recovery_is_bit_identical(algorithm, clean_results):
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    result = service.run(_key(algorithm, faults="chaos"))
+    assert_results_identical(clean_results[algorithm], result)
+    assert service.retries > 0  # the plan actually crashed the run
+    counters = service.perf.counters.as_dict()
+    assert counters.get("service.retries") == service.retries
+
+
+def test_torn_checkpoints_fall_back_across_generations(clean_results, tmp_path):
+    service = SlamService(
+        perf=PerfRecorder(), autocheckpoint_every=2, checkpoint_dir=tmp_path
+    )
+    key = _key("splatam", faults="ckpt-torn")
+    result = service.run(key)
+    assert_results_identical(clean_results["splatam"], result)
+    assert service.retries > 0
+    # Generations landed under the service checkpoint directory.
+    generation_root = tmp_path / "auto" / key.slug()
+    assert generation_root.is_dir() and any(generation_root.iterdir())
+
+
+def test_watchdog_converts_stall_and_recovers(clean_results):
+    # Watchdog well below the 1.2s stall delay but with headroom over a
+    # loaded legitimate stage; spare retries absorb any spurious trip.
+    service = SlamService(
+        perf=PerfRecorder(),
+        watchdog_timeout=0.8,
+        retry=RetryPolicy(max_retries=6),
+    )
+    result = service.run(_key("splatam", faults="map-stall", execution="pipelined"))
+    assert_results_identical(clean_results["splatam"], result)
+    counters = service.perf.counters.as_dict()
+    assert counters.get("session.watchdog_timeouts", 0) >= 1
+    assert service.retries >= 1
+
+
+# ---------------------------------------------------------------------------
+# Retry semantics
+# ---------------------------------------------------------------------------
+def test_fatal_fault_is_not_retried():
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    with pytest.raises(InjectedCrashError):
+        service.run(_key("splatam", faults="worker-crash"))
+    assert service.retries == 0
+
+
+def test_retry_exhaustion_surfaces_the_transient_cause():
+    service = SlamService(
+        perf=PerfRecorder(),
+        autocheckpoint_every=2,
+        retry=RetryPolicy(max_retries=0, backoff=0.0),
+    )
+    with pytest.raises(InjectedFaultError):
+        service.run(_key("splatam", faults="track-crash"))
+
+
+def test_retry_policy_backoff_is_bounded():
+    policy = RetryPolicy(max_retries=5, backoff=0.1, backoff_cap=0.3)
+    delays = [policy.delay(i) for i in range(5)]
+    assert delays[0] == pytest.approx(0.1)
+    assert max(delays) == pytest.approx(0.3)
+    assert delays == sorted(delays)
+
+
+def test_stage_timeout_is_transient():
+    # The service retries exactly the errors that declare themselves so.
+    assert issubclass(StageTimeoutError, TransientError)
+    assert issubclass(InjectedFaultError, TransientError)
+    assert not issubclass(InjectedCrashError, TransientError)
+
+
+# ---------------------------------------------------------------------------
+# run_many isolation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_many_isolates_injected_worker_crash(workers, clean_results):
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    healthy_a = _key("splatam")
+    poisoned = _key("splatam", faults="worker-crash")
+    healthy_b = _key("orb")
+    with pytest.raises(RunManyError) as excinfo:
+        service.run_many([healthy_a, poisoned, healthy_b], workers=workers)
+    assert set(excinfo.value.failures) == {poisoned}
+    assert isinstance(excinfo.value.failures[poisoned], InjectedCrashError)
+    # The surviving keys completed and were stored despite the crash.
+    assert healthy_a in service and healthy_b in service
+    assert_results_identical(clean_results["splatam"], service.run(healthy_a))
+
+
+def test_run_many_return_exceptions_keeps_order(clean_results):
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    keys = [_key("splatam"), _key("splatam", faults="worker-crash"), _key("orb")]
+    out = service.run_many(keys, workers=2, return_exceptions=True)
+    assert len(out) == 3
+    assert isinstance(out[1], InjectedCrashError)
+    assert_results_identical(clean_results["splatam"], out[0])
+    assert_results_identical(clean_results["orb"], out[2])
+
+
+# ---------------------------------------------------------------------------
+# Plumbing
+# ---------------------------------------------------------------------------
+def test_run_key_validates_fault_plan_names():
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        _key("splatam", faults="no-such-plan")
+    assert "fl-chaos" in _key("splatam", faults="chaos").slug()
+
+
+def test_run_slam_threads_faults_through(clean_results):
+    from repro.eval.runner import run_slam
+
+    result = run_slam(
+        "splatam",
+        "desk",
+        num_frames=CHEAP["num_frames"],
+        tracking_iterations=CHEAP["tracking_iterations"],
+        mapping_iterations=CHEAP["mapping_iterations"],
+        faults="track-crash",
+    )
+    assert_results_identical(clean_results["splatam"], result)
+
+
+def test_reports_surface_fault_counters_as_zero_when_silent():
+    report = build_report(PerfRecorder())
+    robustness = report["robustness"]
+    for counter in (
+        "session.watchdog_timeouts",
+        "service.retries",
+        "service.recoveries",
+    ):
+        assert robustness[counter] == 0
+
+
+# ---------------------------------------------------------------------------
+# Full matrix (slow lane; mirrors BENCH_faults.json)
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", SYSTEMS)
+@pytest.mark.parametrize("plan", sorted(TRANSIENT_PLANS))
+def test_full_fault_matrix_recovery_bit_identity(plan, algorithm, clean_results):
+    service = SlamService(perf=PerfRecorder(), autocheckpoint_every=2)
+    result = service.run(_key(algorithm, faults=plan))
+    assert_results_identical(clean_results[algorithm], result)
