@@ -1,0 +1,292 @@
+"""Pixel-sparsity micro-benchmark: active-pixel masks vs tile-granular work.
+
+Times the forward render and the fused forward/backward iteration — the
+inner loops of tracking and mapping — under tile-granular rasterization
+(``sparsity="tile"``, the PR 5 configuration) and pixel-level sparse
+rasterization (``sparsity="pixel"``, the default): per-pair active-pixel
+intervals from closed-form conic strip tests restrict both the alpha
+evaluations and the backward gradient reductions to the sub-tile entries
+that can actually contribute.  The scene is the same SLAM-like population
+the pair-culling bench uses (half the splats weak), where most retained
+pairs cover only a sliver of their tiles.  Before timing anything, the
+two configurations are verified bit-identical — images, contribution
+statistics and fused backward gradients — so pixel sparsity never trades
+accuracy.
+
+The recorded quantities tell the two halves of the story: the pixel
+reduction table is the sub-tile workload the intervals remove (>= 40 % at
+the dense scene) — that reduction flows into the hardware simulators as
+AGS-style sub-tile skipping — while the tile->pixel timing ratios show
+what the NumPy backend itself recovers: a real win where the masked
+row-segment schedule engages (sparse chunks, n200) and a bounded interval
+-extraction overhead where the density fallback keeps the dense kernels
+(n800).
+
+The results (timings, speedups and the per-scene pixel-reduction table)
+go to the ``BENCH_sparsity.json`` perf-trajectory file at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed_sparsity.py           # write
+    PYTHONPATH=src python benchmarks/bench_speed_sparsity.py --gate    # guard
+    scripts/bench_speed.sh --only sparsity                             # same, via the gate script
+
+``--gate`` refuses to overwrite an existing ``BENCH_sparsity.json`` when
+any gated timing regressed by more than ``--max-regression`` (default
+20 %), exiting non-zero — run it from ``scripts/bench_speed.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_gate import check_gate, gate_table  # noqa: E402
+from repro.ioutil import atomic_write_text  # noqa: E402
+
+from repro.gaussians import (  # noqa: E402
+    Camera,
+    ForwardCache,
+    GaussianModel,
+    Intrinsics,
+    Pose,
+    render,
+    render_backward,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sparsity.json"
+
+IMAGE = (120, 160)  # (height, width), matching the hot-path render bench
+MODEL_SIZES = [200, 800]
+TILE = dict(sparsity="tile")
+PIXEL = dict(sparsity="pixel")
+
+# Timings gated by --gate: the pixel-sparse hot paths (the quantities
+# this repo promises to keep fast).  Tile timings are informational.
+GATED_KEYS = [
+    "sparsity.n200.iteration.pixel",
+    "sparsity.n800.render.pixel",
+    "sparsity.n800.iteration.pixel",
+]
+
+
+def _best_of_each(fns: dict[str, object], repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` seconds per entry, repeats interleaved.
+
+    Alternating the configurations inside a single repeat loop (instead of
+    timing one configuration to completion and then the other) keeps the
+    recorded tile/pixel ratios honest under machine phase drift — both
+    configurations see the same thermal/contention conditions.
+    """
+    for fn in fns.values():  # warmup
+        fn()
+    best = {name: np.inf for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return {name: float(value) for name, value in best.items()}
+
+
+def _scene(count: int):
+    """A SLAM-like map: half the splats weak (near/below the alpha cut-off)."""
+    height, width = IMAGE
+    model = GaussianModel.random(count, extent=1.0, seed=3)
+    model.means[:, 2] += 3.0
+    rng = np.random.default_rng(7)
+    weak = rng.random(count) < 0.5
+    model.opacities[weak] -= rng.uniform(4.0, 10.0, size=int(weak.sum()))
+    camera = Camera(Intrinsics.from_fov(width, height, 60.0), Pose.identity())
+    rng = np.random.default_rng(0)
+    grad_color = rng.normal(size=(height, width, 3))
+    grad_depth = rng.normal(size=(height, width))
+    return model, camera, grad_color, grad_depth
+
+
+def _verify_bit_identity(model, camera, grad_color, grad_depth) -> None:
+    """Abort the benchmark if pixel sparsity is not a pure (bit-exact) win."""
+    tile = render(model, camera, cache=ForwardCache(), **TILE)
+    pixel = render(model, camera, cache=ForwardCache(), **PIXEL)
+    for name in ("color", "depth", "silhouette", "final_transmittance"):
+        if not np.array_equal(getattr(tile, name), getattr(pixel, name)):
+            raise SystemExit(f"bit-identity violated on {name}")
+    for name in (
+        "gaussian_pixels_touched",
+        "gaussian_noncontrib_pixels",
+        "gaussian_max_alpha",
+    ):
+        if not np.array_equal(getattr(tile, name), getattr(pixel, name)):
+            raise SystemExit(f"bit-identity violated on {name}")
+    if pixel.total_pairs_blended != tile.total_pairs_blended:
+        raise SystemExit("bit-identity violated on total_pairs_blended")
+    grads_tile, _ = render_backward(model, camera, tile, grad_color, grad_depth)
+    grads_pixel, _ = render_backward(model, camera, pixel, grad_color, grad_depth)
+    for name, value in grads_tile.as_dict().items():
+        if not np.array_equal(value, grads_pixel.as_dict()[name]):
+            raise SystemExit(f"bit-identity violated on gradient {name}")
+
+
+def bench_sparsity(repeats: int) -> tuple[dict[str, float], dict[str, dict]]:
+    timings: dict[str, float] = {}
+    reductions: dict[str, dict] = {}
+    for count in MODEL_SIZES:
+        label = f"n{count}"
+        model, camera, grad_color, grad_depth = _scene(count)
+        _verify_bit_identity(model, camera, grad_color, grad_depth)
+
+        grid = render(model, camera, **PIXEL).tile_grid
+        reductions[label] = {
+            "pixels_total": grid.pixels_total,
+            "pixels_culled": grid.pixels_culled,
+            "pixels_kept": grid.pixels_total - grid.pixels_culled,
+            "culled_fraction": round(grid.pixels_culled / max(grid.pixels_total, 1), 4),
+        }
+
+        caches = {tag: ForwardCache() for tag in ("tile", "pixel")}
+
+        def one_render(modes):
+            render(
+                model, camera, record_workloads=False,
+                record_contributions=False, **modes,
+            )
+
+        def one_iteration(modes, cache):
+            result = render(
+                model, camera, record_workloads=False,
+                record_contributions=False, cache=cache, **modes,
+            )
+            render_backward(
+                model, camera, result, grad_color, grad_depth,
+                compute_pose_gradient=True,
+            )
+
+        for key, value in _best_of_each(
+            {
+                "tile": lambda: one_render(TILE),
+                "pixel": lambda: one_render(PIXEL),
+            },
+            repeats,
+        ).items():
+            timings[f"sparsity.{label}.render.{key}"] = value
+        for key, value in _best_of_each(
+            {
+                "tile": lambda: one_iteration(TILE, caches["tile"]),
+                "pixel": lambda: one_iteration(PIXEL, caches["pixel"]),
+            },
+            repeats,
+        ).items():
+            timings[f"sparsity.{label}.iteration.{key}"] = value
+    return timings, reductions
+
+
+def build_results(repeats: int) -> dict:
+    timings, reductions = bench_sparsity(repeats)
+
+    speedups = {}
+    for count in MODEL_SIZES:
+        label = f"n{count}"
+        for quantity in ("render", "iteration"):
+            speedups[f"sparsity.{label}.{quantity}"] = (
+                timings[f"sparsity.{label}.{quantity}.tile"]
+                / timings[f"sparsity.{label}.{quantity}.pixel"]
+            )
+
+    targets = {
+        # Tentpole targets.  The headline win of pixel-level sparsity is
+        # the workload it removes — >= 40 % of sub-tile pixel entries at
+        # the densest bench scene, which flows straight into the hardware
+        # simulators (hw.render_pairs / hw.dram_bytes) as the AGS-style
+        # sub-tile skipping the paper models.  On this NumPy backend the
+        # masked schedule only engages for sufficiently sparse chunks
+        # (n200: every chunk qualifies, so the fused iteration must not be
+        # slower than tile granularity); in dense regimes the scheduler
+        # falls back to the dense kernels and the exact interval extraction
+        # must stay within a 10 % overhead bound (n800).
+        "sparsity.n800 culls >= 40% of pixels": reductions["n800"]["culled_fraction"] >= 0.40,
+        "sparsity.n200.iteration >= 1.0x (masked regime wins)": (
+            speedups["sparsity.n200.iteration"] >= 1.0
+        ),
+        "sparsity.n800.iteration >= 0.9x (dense-regime overhead bound)": (
+            speedups["sparsity.n800.iteration"] >= 0.9
+        ),
+    }
+    return {
+        "benchmark": "sparsity",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {
+            "image": list(IMAGE),
+            "model_sizes": MODEL_SIZES,
+            "repeats": repeats,
+            "bit_identity_verified": True,
+        },
+        "timings_seconds": {key: timings[key] for key in sorted(timings)},
+        "speedups": {key: round(value, 2) for key, value in sorted(speedups.items())},
+        "pixel_reduction": reductions,
+        "targets_met": targets,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (and keep the old file) on a hot-path regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown per gated timing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    results = build_results(args.repeats)
+    print(f"pixel-sparsity benchmark ({args.repeats} repeats, best-of, bit-identity verified):")
+    for key, value in results["timings_seconds"].items():
+        print(f"  {key:<38}{value * 1e3:>10.2f} ms")
+    print("speedups (tile -> pixel):")
+    for key, value in results["speedups"].items():
+        print(f"  {key:<38}{value:>9.2f}x")
+    print("pixel reduction (within retained pairs):")
+    header = f"  {'scene':<8}{'tile pixels':>14}{'kept':>10}{'culled':>10}{'fraction':>10}"
+    print(header)
+    for label, row in results["pixel_reduction"].items():
+        print(
+            f"  {label:<8}{row['pixels_total']:>14}{row['pixels_kept']:>10}"
+            f"{row['pixels_culled']:>10}{row['culled_fraction']:>9.1%}"
+        )
+    for target, met in results["targets_met"].items():
+        print(f"  target {target}: {'MET' if met else 'MISSED'}")
+
+    if args.gate and args.output.exists():
+        previous = json.loads(args.output.read_text())
+        failures = check_gate(previous, results, args.max_regression, GATED_KEYS)
+        print("\ngated timings vs previous BENCH_sparsity.json:")
+        print(gate_table(previous, results, GATED_KEYS))
+        if failures:
+            print("\nPERF GATE FAILED — keeping previous BENCH_sparsity.json:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("perf gate PASSED")
+
+    atomic_write_text(args.output, json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,33 +1,61 @@
 #!/usr/bin/env bash
 # Hot-path perf gate: re-measure the motion-estimation, rasterizer,
-# rasterizer-backward, pair-culling and pipelined-executor benchmarks and
-# update BENCH_hotpaths.json / BENCH_backward.json / BENCH_culling.json /
-# BENCH_pipeline.json at the repo root.
+# rasterizer-backward, pair-culling, pixel-sparsity and pipelined-executor
+# benchmarks and update BENCH_hotpaths.json / BENCH_backward.json /
+# BENCH_culling.json / BENCH_sparsity.json / BENCH_pipeline.json at the
+# repo root.
 #
 # If a gated hot-path timing regressed by more than 20% against a
 # committed BENCH_*.json, the script exits non-zero and leaves that
 # previous file untouched — wire it into CI so perf regressions fail PRs.
 #
-# Usage: scripts/bench_speed.sh [extra bench args, applied to all]
+# Usage: scripts/bench_speed.sh [--only <bench>] [extra bench args]
 #   e.g. scripts/bench_speed.sh --max-regression 0.1
 #        scripts/bench_speed.sh --repeats 9
+#        scripts/bench_speed.sh --only sparsity
+#        scripts/bench_speed.sh --only culling --repeats 9
+#
+# --only runs a single benchmark; <bench> is one of:
+#   hotpaths backward culling sparsity pipeline robustness faults
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_speed_hotpaths.py --gate "$@"
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_speed_backward.py --gate "$@"
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_speed_culling.py --gate "$@"
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_speed_pipeline.py --gate "$@"
+ONLY=""
+if [[ "${1:-}" == "--only" ]]; then
+    if [[ $# -lt 2 ]]; then
+        echo "--only requires a benchmark name" >&2
+        exit 2
+    fi
+    ONLY="$2"
+    shift 2
+    case "$ONLY" in
+        hotpaths|backward|culling|sparsity|pipeline|robustness|faults) ;;
+        *)
+            echo "unknown benchmark: $ONLY" >&2
+            echo "expected one of: hotpaths backward culling sparsity pipeline robustness faults" >&2
+            exit 2
+            ;;
+    esac
+fi
+
+run_bench() {
+    local name="$1"
+    shift
+    if [[ -n "$ONLY" && "$ONLY" != "$name" ]]; then
+        return 0
+    fi
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python "$@"
+}
+
+run_bench hotpaths benchmarks/bench_speed_hotpaths.py --gate "$@"
+run_bench backward benchmarks/bench_speed_backward.py --gate "$@"
+run_bench culling benchmarks/bench_speed_culling.py --gate "$@"
+run_bench sparsity benchmarks/bench_speed_sparsity.py --gate "$@"
+run_bench pipeline benchmarks/bench_speed_pipeline.py --gate "$@"
 # Robustness grid: correctness-gated (clean-stream bit-identity and the
 # fallback-ablation wins), not timing-gated, so it takes no extra args.
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_robustness.py --gate
+run_bench robustness benchmarks/bench_robustness.py --gate
 # Fault-recovery grid: correctness-gated (crash-at-fault + recovery is
 # bit-identical to the uninterrupted run, per plan x system).
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_faults.py --gate
+run_bench faults benchmarks/bench_faults.py --gate

@@ -32,6 +32,24 @@ if [[ -n "$TRACKED_BYTECODE" ]]; then
 fi
 echo "no tracked __pycache__/*.pyc files"
 
+# BENCH_*.json perf-trajectory files must only be written through
+# repro.ioutil.atomic_write_text (tmp file + rename): a benchmark killed
+# mid-write must never leave a torn baseline behind for the perf gate to
+# diff against.  Flag any direct open(..., "w")-style writer that names a
+# BENCH path.  write_text() on a BENCH path is equally torn, so it is
+# flagged too; atomic_write_text's own internals live in ioutil and do
+# not name BENCH files.
+NON_ATOMIC=$(grep -rnE 'open\([^)]*BENCH[^)]*,\s*["'"'"']w|\.write_text\(' \
+    --include='*.py' benchmarks src scripts \
+    | grep 'BENCH' || true)
+if [[ -n "$NON_ATOMIC" ]]; then
+    echo "ERROR: BENCH_*.json written without atomic_write_text:" >&2
+    echo "$NON_ATOMIC" | head -20 >&2
+    echo "(use repro.ioutil.atomic_write_text for perf-trajectory files)" >&2
+    exit 1
+fi
+echo "no non-atomic BENCH_*.json writers"
+
 echo "== tier-1 test suite =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 

@@ -42,6 +42,7 @@ from repro.gaussians.projection import (
 from repro.gaussians.scratch import ScratchPool, scatter_add
 from repro.gaussians.tiles import (
     CULL_MODES,
+    SPARSITY_MODES,
     TILE_SIZE,
     GaussianTable,
     TileGrid,
@@ -53,6 +54,7 @@ __all__ = [
     "ALPHA_MAX",
     "DEFAULT_CULL_MODE",
     "DEFAULT_RADIUS_MODE",
+    "DEFAULT_SPARSITY_MODE",
     "TRANSMITTANCE_EPS",
     "ForwardCache",
     "RasterizationResult",
@@ -80,6 +82,24 @@ _RENDER_BACKENDS = ("bucketed", "reference")
 # Gaussian tables every downstream engine iterates over.
 DEFAULT_RADIUS_MODE = "opacity"
 DEFAULT_CULL_MODE = "precise"
+# Default within-tile sparsity: ``"pixel"`` attaches a conservative
+# active-pixel interval to every retained (tile, Gaussian) pair (see
+# :func:`repro.gaussians.tiles.assign_tiles`), and the bucketed engine
+# evaluates / differentiates only those entries.  Exact like the pair
+# culling: images, statistics and gradients are bit-identical to
+# ``sparsity="tile"``.
+DEFAULT_SPARSITY_MODE = "pixel"
+
+# The masked (gather/scatter) pixel-sparse compute path wins when the
+# active fraction of a chunk's (tile, pixel, gaussian) lattice is low;
+# near-dense chunks fall back to the straight dense kernels, which carry
+# no indexing overhead.  Both paths produce bit-identical outputs — the
+# threshold only selects the faster execution schedule, never semantics.
+# On this NumPy backend the row-segment gathers/scatters plus the bincount
+# gradient reductions cost roughly 2-3x the dense per-element stream, so
+# masked execution only pays off once >~70 % of the padded lattice is
+# culled (measured crossover on the bench scenes; near-dense chunks lose).
+_SPARSE_DENSITY_FALLBACK = 0.30
 
 
 @dataclasses.dataclass
@@ -111,6 +131,17 @@ class _CachedChunk:
     :class:`ForwardCache`'s scratch pool; padding entries carry zero
     opacity and therefore zero ``alpha`` / ``weights``, so the backward
     accumulation needs no padding mask (their gradient terms vanish).
+
+    When the chunk was rendered through the masked pixel-sparse path, the
+    computed entries are the full active *rows* of every pair's interval:
+    ``active`` holds their flat lattice indices as an (S, tile_w) block
+    (one row segment per line), ``active_tg`` the per-entry flat (tile,
+    Gaussian) index ``t * G + g``, ``dx`` the (S, tile_w) offsets and
+    ``dy`` the per-segment (S,) offsets (constant along a pixel row); the
+    backward's mean/conic reductions then touch only those entries.
+    ``active is None`` means the chunk was rendered dense (tile sparsity,
+    or the density fallback) and ``dx`` / ``dy`` are the full (T, P, G)
+    lattices.
     """
 
     tile_indices: np.ndarray  # (T,) flat tile indices in the grid
@@ -126,8 +157,10 @@ class _CachedChunk:
     t_before: np.ndarray  # (T, P, G) exclusive transmittances
     weights: np.ndarray  # (T, P, G) blending weights T * alpha
     clamped: np.ndarray  # (T, P, G) bool: raw alpha exceeded ALPHA_MAX
-    dx: np.ndarray  # (T, P, G) pixel-minus-mean x offsets (backward reuse)
-    dy: np.ndarray  # (T, P, G) pixel-minus-mean y offsets
+    dx: np.ndarray  # (T, P, G) — or (S, tile_w) compressed — pixel-minus-mean x offsets
+    dy: np.ndarray  # (T, P, G) — or (S,) per-segment — pixel-minus-mean y offsets
+    active: np.ndarray | None = None  # (S, tile_w) flat indices into (T*P*G,)
+    active_tg: np.ndarray | None = None  # (S * tile_w,) flat (tile, Gaussian) index t*G+g
 
 
 class ForwardCache:
@@ -470,6 +503,7 @@ def _render_bucketed(
         store_dtype = dtype
         cast_store = False
     eps = dtype.type(TRANSMITTANCE_EPS)
+    pixel_sparse = getattr(tile_grid, "sparsity", "tile") == "pixel"
 
     chunk_index = 0
     for (tile_w, tile_h, padded), tables in _bucket_tables(tile_grid).items():
@@ -490,6 +524,12 @@ def _render_bucketed(
             tile_indices = np.empty(num_tiles, dtype=np.int64)
             origin_x = np.empty(num_tiles, dtype=np.int64)
             origin_y = np.empty(num_tiles, dtype=np.int64)
+            iv = None
+            if pixel_sparse:
+                # Active-pixel intervals (r0, r1, c0, c1) of every pair;
+                # zero-filled padding entries contribute empty intervals.
+                iv = pool.take("iv", (num_tiles, padded, 4), np.int64)
+                iv[...] = 0
             for slot, table in enumerate(chunk):
                 table_ids = table.gaussian_ids
                 ids[slot, : len(table_ids)] = table_ids
@@ -498,6 +538,8 @@ def _render_bucketed(
                 tile_indices[slot] = table.tile_y * tile_grid.tiles_x + table.tile_x
                 origin_x[slot] = table.tile_x * tile_grid.tile_size
                 origin_y[slot] = table.tile_y * tile_grid.tile_size
+                if iv is not None and table.intervals is not None:
+                    iv[slot, : len(table_ids)] = table.intervals
 
             # Pixel centers (tiles, pixels) and flat image indices.
             px = (origin_x[:, None] + col_off[None, :] + 0.5).astype(dtype)
@@ -506,69 +548,167 @@ def _render_bucketed(
                           + origin_x[:, None] + col_off[None, :]).reshape(-1)
 
             shape = (num_tiles, num_pixels, padded)
-            if cache is not None and not cast_store:
-                # The pixel offsets are retained for the fused backward
-                # pass (dpower/dmean and dpower/dconic both need them), so
-                # the backward skips recomputing them per chunk.
-                dx = pool.take(f"cache.dx.{chunk_index}", shape, dtype)
-                dy = pool.take(f"cache.dy.{chunk_index}", shape, dtype)
-            else:
-                dx = pool.take("dx", shape, dtype)
-                dy = pool.take("dy", shape, dtype)
-            power = pool.take("power", shape, dtype)
-            cross = pool.take("cross", shape, dtype)
-            np.subtract(px[:, :, None], means_x[ids][:, None, :], out=dx)
-            np.subtract(py[:, :, None], means_y[ids][:, None, :], out=dy)
+            active = active_tg = e_dx = e_dy = None
+            use_masked = False
+            if pixel_sparse:
+                row_counts = (iv[:, :, 1] - iv[:, :, 0]).reshape(-1)
+                num_segments = int(row_counts.sum())
+                total_active = num_segments * tile_w
+                use_masked = total_active <= _SPARSE_DENSITY_FALLBACK * (num_tiles * num_pixels * padded)
 
-            # power = -0.5 * (a00 dx^2 + 2 a01 dx dy + a11 dy^2), built
-            # with the same association order as tile_forward.
-            np.multiply(dx, dx, out=power)
-            np.multiply(conic00[ids][:, None, :], power, out=power)
-            np.multiply(dtype.type(2.0) * conic01[ids][:, None, :], dx, out=cross)
-            np.multiply(cross, dy, out=cross)
-            np.add(power, cross, out=power)
-            np.multiply(dy, dy, out=cross)
-            np.multiply(conic11[ids][:, None, :], cross, out=cross)
-            np.add(power, cross, out=power)
-            np.multiply(power, dtype.type(-0.5), out=power)
-            np.minimum(power, dtype.type(0.0), out=power)
+            if use_masked:
+                # Masked pixel-sparse path: enumerate the *active rows* of
+                # every pair's interval as (segment, column) blocks — the
+                # excluded rows provably never reach ALPHA_MIN — evaluate
+                # alpha on the (segments, tile_w) block with the exact
+                # op/association order of the dense kernels below, and
+                # scatter into a zero-filled dense alpha lattice —
+                # compositing, early termination and statistics then run
+                # unchanged, so outputs stay bit-identical.  Row blocks
+                # keep the per-entry bookkeeping at the segment level:
+                # ``dy`` (and everything derived from it alone) is constant
+                # along a pixel row, and the per-entry flat indices are a
+                # single broadcast add away from the per-segment bases.
+                r0 = iv[:, :, 0].reshape(-1)
+                starts = np.cumsum(row_counts) - row_counts
+                seg_tg = np.repeat(np.arange(num_tiles * padded, dtype=np.int64), row_counts)
+                seg_row = np.arange(num_segments, dtype=np.int64)
+                seg_row -= np.repeat(starts - r0, row_counts)
+                tile_slot = seg_tg // padded
+                gcol = seg_tg - tile_slot * padded
+                gids = ids.reshape(-1)[seg_tg]
+                base = (tile_slot * num_pixels + seg_row * tile_w) * padded + gcol
+                active = base[:, None] + np.arange(tile_w, dtype=np.int64)[None, :] * padded
+                active_tg = np.repeat(seg_tg, tile_w)
 
-            if cache is not None and not cast_store:
-                alpha = pool.take(f"cache.alpha.{chunk_index}", shape, dtype)
-                np.exp(power, out=alpha)
-                t_before = pool.take(f"cache.t_before.{chunk_index}", shape, dtype)
-                clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
-            elif cache is not None:
-                alpha = np.exp(power, out=power)
-                t_before = pool.take("t_before", shape, dtype)
-                clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
-            else:
-                alpha = np.exp(power, out=power)
-                t_before = pool.take("t_before", shape, dtype)
-                clamped = None
-            np.multiply(opac[:, None, :], alpha, out=alpha)
-            if clamped is not None:
-                np.greater(alpha, dtype.type(ALPHA_MAX), out=clamped)
-            np.minimum(alpha, dtype.type(ALPHA_MAX), out=alpha)
-            alpha[alpha < dtype.type(ALPHA_MIN)] = 0.0
+                sshape = (num_segments, tile_w)
+                if cache is not None and not cast_store:
+                    # Retained compressed for the fused backward pass
+                    # (``dy`` at segment granularity).
+                    e_dx = pool.take(f"cache.dx.{chunk_index}", sshape, dtype)
+                    e_dy = pool.take(f"cache.dy.{chunk_index}", (num_segments,), dtype)
+                else:
+                    e_dx = pool.take("entry.dx", sshape, dtype)
+                    e_dy = pool.take("entry.dy", (num_segments,), dtype)
+                e_power = pool.take("entry.power", sshape, dtype)
+                e_cross = pool.take("entry.cross", sshape, dtype)
+                cols = np.arange(tile_w, dtype=np.int64)
+                np.subtract(
+                    (origin_x[tile_slot][:, None] + cols[None, :] + 0.5).astype(dtype),
+                    means_x[gids][:, None],
+                    out=e_dx,
+                )
+                np.subtract(
+                    (origin_y[tile_slot] + seg_row + 0.5).astype(dtype),
+                    means_y[gids],
+                    out=e_dy,
+                )
+                np.multiply(e_dx, e_dx, out=e_power)
+                np.multiply(conic00[gids][:, None], e_power, out=e_power)
+                np.multiply((dtype.type(2.0) * conic01[gids])[:, None], e_dx, out=e_cross)
+                np.multiply(e_cross, e_dy[:, None], out=e_cross)
+                np.add(e_power, e_cross, out=e_power)
+                seg_cross = e_dy * e_dy
+                np.multiply(conic11[gids], seg_cross, out=seg_cross)
+                np.add(e_power, seg_cross[:, None], out=e_power)
+                np.multiply(e_power, dtype.type(-0.5), out=e_power)
+                np.minimum(e_power, dtype.type(0.0), out=e_power)
+                e_alpha = np.exp(e_power, out=e_power)
+                np.multiply(opac.reshape(-1)[seg_tg][:, None], e_alpha, out=e_alpha)
 
-            if cache is not None:
-                one_minus = np.subtract(dtype.type(1.0), alpha, out=pool.take("one_minus", shape, dtype))
+                e_clamped = None
+                if cache is not None:
+                    e_clamped = pool.take("entry.clamped", sshape, np.bool_)
+                    np.greater(e_alpha, dtype.type(ALPHA_MAX), out=e_clamped)
+                np.minimum(e_alpha, dtype.type(ALPHA_MAX), out=e_alpha)
+                e_alpha[e_alpha < dtype.type(ALPHA_MIN)] = 0.0
+
+                # Scatter into the dense lattice; inactive entries are an
+                # exact zero in the dense path too, since the intervals are
+                # conservative supersets of the alpha >= ALPHA_MIN support.
+                if cache is not None and not cast_store:
+                    alpha = pool.take(f"cache.alpha.{chunk_index}", shape, dtype)
+                    t_before = pool.take(f"cache.t_before.{chunk_index}", shape, dtype)
+                    clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+                    weights_out = pool.take(f"cache.weights.{chunk_index}", shape, dtype)
+                else:
+                    alpha = pool.take("power", shape, dtype)
+                    t_before = pool.take("t_before", shape, dtype)
+                    clamped = (
+                        pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+                        if cache is not None
+                        else None
+                    )
+                    weights_out = pool.take("cross", shape, dtype)
+                alpha[...] = 0.0
+                alpha.reshape(-1)[active] = e_alpha
+                if clamped is not None:
+                    clamped[...] = False
+                    clamped.reshape(-1)[active] = e_clamped
+                one_minus_out = pool.take("one_minus", shape, dtype)
+                dx = dy = None
             else:
-                one_minus = np.subtract(dtype.type(1.0), alpha, out=dx)
+                if cache is not None and not cast_store:
+                    # The pixel offsets are retained for the fused backward
+                    # pass (dpower/dmean and dpower/dconic both need them),
+                    # so the backward skips recomputing them per chunk.
+                    dx = pool.take(f"cache.dx.{chunk_index}", shape, dtype)
+                    dy = pool.take(f"cache.dy.{chunk_index}", shape, dtype)
+                else:
+                    dx = pool.take("dx", shape, dtype)
+                    dy = pool.take("dy", shape, dtype)
+                power = pool.take("power", shape, dtype)
+                cross = pool.take("cross", shape, dtype)
+                np.subtract(px[:, :, None], means_x[ids][:, None, :], out=dx)
+                np.subtract(py[:, :, None], means_y[ids][:, None, :], out=dy)
+
+                # power = -0.5 * (a00 dx^2 + 2 a01 dx dy + a11 dy^2), built
+                # with the same association order as tile_forward.
+                np.multiply(dx, dx, out=power)
+                np.multiply(conic00[ids][:, None, :], power, out=power)
+                np.multiply(dtype.type(2.0) * conic01[ids][:, None, :], dx, out=cross)
+                np.multiply(cross, dy, out=cross)
+                np.add(power, cross, out=power)
+                np.multiply(dy, dy, out=cross)
+                np.multiply(conic11[ids][:, None, :], cross, out=cross)
+                np.add(power, cross, out=power)
+                np.multiply(power, dtype.type(-0.5), out=power)
+                np.minimum(power, dtype.type(0.0), out=power)
+
+                if cache is not None and not cast_store:
+                    alpha = pool.take(f"cache.alpha.{chunk_index}", shape, dtype)
+                    np.exp(power, out=alpha)
+                    t_before = pool.take(f"cache.t_before.{chunk_index}", shape, dtype)
+                    clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+                    weights_out = pool.take(f"cache.weights.{chunk_index}", shape, dtype)
+                elif cache is not None:
+                    alpha = np.exp(power, out=power)
+                    t_before = pool.take("t_before", shape, dtype)
+                    clamped = pool.take(f"cache.clamped.{chunk_index}", shape, np.bool_)
+                    # cross is dead after the power chain; dx/dy must
+                    # survive for the cast store.
+                    weights_out = cross
+                else:
+                    alpha = np.exp(power, out=power)
+                    t_before = pool.take("t_before", shape, dtype)
+                    clamped = None
+                    weights_out = dy
+                np.multiply(opac[:, None, :], alpha, out=alpha)
+                if clamped is not None:
+                    np.greater(alpha, dtype.type(ALPHA_MAX), out=clamped)
+                np.minimum(alpha, dtype.type(ALPHA_MAX), out=alpha)
+                alpha[alpha < dtype.type(ALPHA_MIN)] = 0.0
+                one_minus_out = (
+                    pool.take("one_minus", shape, dtype) if cache is not None else dx
+                )
+
+            one_minus = np.subtract(dtype.type(1.0), alpha, out=one_minus_out)
             np.cumprod(one_minus, axis=2, out=t_before)
             t_before[:, :, 1:] = t_before[:, :, :-1]
             t_before[:, :, 0] = 1.0
             terminated = t_before < eps
             alpha[terminated] = 0.0
-            if cache is not None and not cast_store:
-                weights = pool.take(f"cache.weights.{chunk_index}", shape, dtype)
-                np.multiply(t_before, alpha, out=weights)
-            elif cache is not None:
-                # cross is dead here; dx/dy must survive for the cast store.
-                weights = np.multiply(t_before, alpha, out=cross)
-            else:
-                weights = np.multiply(t_before, alpha, out=dy)
+            weights = np.multiply(t_before, alpha, out=weights_out)
 
             if write_images:
                 # Color, depth and silhouette composited by one batched
@@ -606,6 +746,23 @@ def _render_bucketed(
                     blended = alpha > 0.0
                     computed = ~terminated
                     computed &= real[:, None, :]
+                    if pixel_sparse:
+                        # Pixel sparsity: only entries inside the rectangular
+                        # active interval count as evaluated — the workload
+                        # semantics, not the execution schedule (the masked
+                        # row-block schedule computes full active rows, the
+                        # fallback computes everything; both are schedules
+                        # over the same logical sparse workload).
+                        act = pool.take("act_mask", shape, np.bool_)
+                        act_tmp = pool.take("act_tmp", shape, np.bool_)
+                        np.greater_equal(row_off[None, :, None], iv[:, None, :, 0], out=act)
+                        np.less(row_off[None, :, None], iv[:, None, :, 1], out=act_tmp)
+                        act &= act_tmp
+                        np.greater_equal(col_off[None, :, None], iv[:, None, :, 2], out=act_tmp)
+                        act &= act_tmp
+                        np.less(col_off[None, :, None], iv[:, None, :, 3], out=act_tmp)
+                        act &= act_tmp
+                        computed &= act
                     pairs_computed[tile_indices] = computed.sum(axis=(1, 2))
                     pairs_blended[tile_indices] = blended.sum(axis=(1, 2))
                     tile_lengths[tile_indices] = lengths
@@ -618,17 +775,23 @@ def _render_bucketed(
                     # Down-cast the blending intermediates into the
                     # persistent (narrow-dtype) cache buffers; the images
                     # above were composited from the full-precision ones.
-                    def _persist(name: str, src: np.ndarray) -> np.ndarray:
-                        buf = pool.take(f"cache.{name}.{chunk_index}", shape, store_dtype)
+                    def _persist(name: str, src: np.ndarray, buf_shape) -> np.ndarray:
+                        buf = pool.take(f"cache.{name}.{chunk_index}", buf_shape, store_dtype)
                         buf[...] = src
                         return buf
 
-                    alpha = _persist("alpha", alpha)
-                    t_before = _persist("t_before", t_before)
-                    weights = _persist("weights", weights)
-                    dx = _persist("dx", dx)
-                    dy = _persist("dy", dy)
+                    alpha = _persist("alpha", alpha, shape)
+                    t_before = _persist("t_before", t_before, shape)
+                    weights = _persist("weights", weights, shape)
+                    if use_masked:
+                        dx = _persist("dx", e_dx, e_dx.shape)
+                        dy = _persist("dy", e_dy, e_dy.shape)
+                    else:
+                        dx = _persist("dx", dx, shape)
+                        dy = _persist("dy", dy, shape)
                     opac = opac.astype(store_dtype)
+                elif use_masked:
+                    dx, dy = e_dx, e_dy
                 cache.chunks.append(
                     _CachedChunk(
                         tile_indices=tile_indices,
@@ -646,6 +809,8 @@ def _render_bucketed(
                         clamped=clamped,
                         dx=dx,
                         dy=dy,
+                        active=active,
+                        active_tg=active_tg,
                     )
                 )
             chunk_index += 1
@@ -742,6 +907,7 @@ def render(
     cache: ForwardCache | None = None,
     radius: str | None = None,
     cull: str | None = None,
+    sparsity: str | None = None,
     perf=None,
 ) -> RasterizationResult:
     """Render ``model`` from ``camera``.
@@ -781,8 +947,17 @@ def render(
             rendered images, statistics and gradients are bit-identical
             across all four mode combinations; only the Gaussian tables
             (and the recorded workloads) shrink.
+        sparsity: within-tile sparsity mode, ``"pixel"`` (default) or
+            ``"tile"`` — see :func:`repro.gaussians.tiles.assign_tiles`.
+            ``"pixel"`` attaches a conservative active-pixel interval to
+            every retained pair; the bucketed engine (and fused backward)
+            then evaluates only the active (pair, pixel) entries.  Exact
+            like ``radius`` / ``cull``: images, statistics and gradients
+            are bit-identical across all eight knob combinations.
+            Ignored when ``tile_grid`` is supplied.
         perf: optional :class:`repro.perf.PerfRecorder`; tile assignment
             feeds it the ``raster.pairs_total`` / ``raster.pairs_culled``
+            and ``raster.pixels_total`` / ``raster.pixels_culled``
             counters.
 
     Returns:
@@ -799,6 +974,11 @@ def render(
     cull = cull or DEFAULT_CULL_MODE
     if cull not in CULL_MODES:
         raise ValueError(f"unknown cull mode {cull!r}; expected one of {CULL_MODES}")
+    sparsity = sparsity or DEFAULT_SPARSITY_MODE
+    if sparsity not in SPARSITY_MODES:
+        raise ValueError(
+            f"unknown sparsity mode {sparsity!r}; expected one of {SPARSITY_MODES}"
+        )
 
     intr = camera.intrinsics
     height, width = intr.height, intr.width
@@ -809,7 +989,9 @@ def render(
             projection, visible=projection.visible & np.asarray(active_mask, dtype=bool)
         )
     if tile_grid is None:
-        tile_grid = assign_tiles(projection, width, height, tile_size, cull=cull, perf=perf)
+        tile_grid = assign_tiles(
+            projection, width, height, tile_size, cull=cull, sparsity=sparsity, perf=perf
+        )
 
     count = len(model)
     opac = model.alphas
@@ -902,6 +1084,19 @@ def render(
         if record_workloads:
             blended_mask = alpha > 0.0
             computed_mask = ~data["terminated"]
+            if table.intervals is not None:
+                # Pixel sparsity: only entries inside the pair's active
+                # interval count as evaluated (matches the bucketed
+                # engine's accounting; pixels are row-major in the tile).
+                rows = np.arange(alpha.shape[0]) // tile_w
+                cols = np.arange(alpha.shape[0]) % tile_w
+                table_iv = table.intervals
+                computed_mask &= (
+                    (rows[:, None] >= table_iv[None, :, 0])
+                    & (rows[:, None] < table_iv[None, :, 1])
+                    & (cols[:, None] >= table_iv[None, :, 2])
+                    & (cols[:, None] < table_iv[None, :, 3])
+                )
             workloads.append(
                 TileWorkload(
                     tile_index=tile_index,

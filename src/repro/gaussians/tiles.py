@@ -24,6 +24,24 @@ the ``raster.pairs_total`` / ``raster.pairs_culled`` perf counters), and
 touched pixels the cull removed relative to the classic sigma-radius
 tables — the rasterizer adds these back into the contribution statistics
 so AGS's contribution-aware decisions are unchanged by culling.
+
+Pixel-level sparsity (``assign_tiles(..., sparsity="pixel")``, the
+default): the second, sub-tile culling stage.  For every *retained*
+(tile, Gaussian) pair the same closed-form conic minimization is applied
+per pixel row and per pixel column of the tile: minimizing the convex
+quadratic ``q`` over one row (column) strip is exactly the clamped edge
+parabola of the rectangle test, evaluated at that row's (column's) pixel
+centers.  Rows/columns whose strip minimum keeps alpha below
+``ALPHA_MIN`` are provably all-zero in the blending loop, and because a
+partial minimum of a convex function is convex in the remaining
+variable, the surviving rows (columns) form one contiguous interval —
+each pair's active pixels are the ``[r0, r1) x [c0, c1)`` sub-rectangle
+stored in ``GaussianTable.intervals``.  The rasterizer evaluates only
+those (pair, pixel) entries (every excluded pixel would have been zeroed
+by the alpha cut-off anyway, so images, statistics and gradients are
+bit-identical); the removed per-pixel workload is reported via
+``TileGrid.pixels_total`` / ``TileGrid.pixels_culled`` and the
+``raster.pixels_total`` / ``raster.pixels_culled`` perf counters.
 """
 
 from __future__ import annotations
@@ -32,10 +50,11 @@ import dataclasses
 
 import numpy as np
 
-from repro.gaussians.projection import ALPHA_MIN, ProjectionResult
+from repro.gaussians.projection import ALPHA_MIN, ProjectionResult, conic_strip_min
 
 __all__ = [
     "CULL_MODES",
+    "SPARSITY_MODES",
     "TILE_SIZE",
     "TileGrid",
     "GaussianTable",
@@ -49,6 +68,12 @@ TILE_SIZE = 8
 # the tile (the classic expansion); "precise" additionally removes pairs
 # whose alpha is provably below ALPHA_MIN everywhere in the tile.
 CULL_MODES = ("aabb", "precise")
+
+# Sub-tile sparsity modes: "tile" evaluates every pixel of a retained
+# (tile, Gaussian) pair; "pixel" restricts each pair to its active
+# row/column interval (the sub-rectangle outside of which the splat's
+# alpha is provably below ALPHA_MIN).
+SPARSITY_MODES = ("tile", "pixel")
 
 # Slack (in log-alpha) subtracted from the cull comparison so float
 # round-off in the closed-form minimum can never drop a pair whose alpha
@@ -65,12 +90,18 @@ class GaussianTable:
         tile_x, tile_y: tile coordinates in the tile grid.
         gaussian_ids: indices into the Gaussian model, sorted by depth.
         depths: camera-space depths matching ``gaussian_ids``.
+        intervals: optional (len, 4) int64 per-pair active-pixel
+            intervals ``(r0, r1, c0, c1)`` (half-open, tile-local rows and
+            columns), aligned with ``gaussian_ids``.  Outside the
+            ``[r0, r1) x [c0, c1)`` sub-rectangle the pair's alpha is
+            provably below ``ALPHA_MIN``.  None under ``sparsity="tile"``.
     """
 
     tile_x: int
     tile_y: int
     gaussian_ids: np.ndarray
     depths: np.ndarray
+    intervals: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.gaussian_ids)
@@ -87,6 +118,12 @@ class TileGrid:
     ``culled_pixels`` the per-Gaussian pixel counts of the dropped pairs
     (all provably zero-alpha) that the statistics-recording render adds
     back so contribution statistics are invariant to culling.
+
+    ``pixels_total`` counts the (pair, pixel) blending entries of the
+    *retained* pairs (the per-pixel workload the tables imply after pair
+    culling) and ``pixels_culled`` how many of them the ``sparsity``
+    mode's sub-tile interval stage removed (zero under
+    ``sparsity="tile"``).
     """
 
     width: int
@@ -100,6 +137,9 @@ class TileGrid:
     culled_pixels: np.ndarray | None = dataclasses.field(default=None, repr=False)
     cull: str = "aabb"
     radius_mode: str = "sigma"
+    sparsity: str = "tile"
+    pixels_total: int = 0
+    pixels_culled: int = 0
     # Per-shape pixel-offset cache shared by every consumer of this grid
     # (forward tiles, bucketed backward, stats recording).  A grid only has
     # a handful of distinct tile shapes (interior + ragged edge tiles), so
@@ -109,10 +149,11 @@ class TileGrid:
 
     @property
     def mode_tag(self) -> str:
-        """Radius/cull mode pair, stamped onto forward caches built from
-        this grid so a cache populated under one culling configuration is
-        never silently consumed by a backward pass expecting another."""
-        return f"{self.radius_mode}:{self.cull}"
+        """Radius/cull/sparsity mode triple, stamped onto forward caches
+        built from this grid so a cache populated under one culling
+        configuration is never silently consumed by a backward pass
+        expecting another."""
+        return f"{self.radius_mode}:{self.cull}:{self.sparsity}"
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -242,19 +283,17 @@ def _precise_keep_mask(
 
     inside = (lx <= 0.0) & (ux >= 0.0) & (ly <= 0.0) & (uy >= 0.0)
 
-    # Vertical edges dx = c: q(c, dy) minimized at dy = -a01 c / a11.
-    def _edge_x(c: np.ndarray) -> np.ndarray:
-        dy = np.clip(-a01 * c / a11, ly, uy)
-        return a00 * c * c + 2.0 * a01 * c * dy + a11 * dy * dy
-
-    # Horizontal edges dy = c: q(dx, c) minimized at dx = -a01 c / a00.
-    def _edge_y(c: np.ndarray) -> np.ndarray:
-        dx = np.clip(-a01 * c / a00, lx, ux)
-        return a00 * dx * dx + 2.0 * a01 * dx * c + a11 * c * c
-
+    # Minimum over the rectangle boundary: the least of the four clamped
+    # edge parabolas (vertical edges dx = lx/ux, horizontal edges dy = ly/uy).
     q_min = np.minimum(
-        np.minimum(_edge_x(lx), _edge_x(ux)),
-        np.minimum(_edge_y(ly), _edge_y(uy)),
+        np.minimum(
+            conic_strip_min(a00, a01, a11, lx, ly, uy, fixed="x"),
+            conic_strip_min(a00, a01, a11, ux, ly, uy, fixed="x"),
+        ),
+        np.minimum(
+            conic_strip_min(a00, a01, a11, ly, lx, ux, fixed="y"),
+            conic_strip_min(a00, a01, a11, uy, lx, ux, fixed="y"),
+        ),
     )
     q_min = np.where(inside, 0.0, q_min)
     # Degenerate conics (non-positive diagonal, non-finite entries) fall
@@ -263,12 +302,167 @@ def _precise_keep_mask(
     return ~well_posed | (q_min <= tau_pairs + 2.0 * _CULL_SLACK)
 
 
+def _active_intervals(
+    projection: ProjectionResult,
+    gid_pairs: np.ndarray,
+    tile_x: np.ndarray,
+    tile_y: np.ndarray,
+    tile_w: np.ndarray,
+    tile_h: np.ndarray,
+    tile_size: int,
+) -> np.ndarray:
+    """Per-pair active row/column intervals ``(r0, r1, c0, c1)``, half-open.
+
+    For every retained (tile, Gaussian) pair the conic quadratic is
+    minimized over each pixel *row strip* (``dy`` fixed at the row center,
+    ``dx`` ranging over the tile's pixel-center columns) and each pixel
+    *column strip* — the same clamped-parabola closed form as the
+    tile-rectangle cull, applied per strip.  A strip whose minimum keeps
+    ``q > tau`` (plus the same float-safety slack as the pair cull)
+    contains no pixel with alpha >= ``ALPHA_MIN``, so excluding it cannot
+    change rendered output.  Because a partial minimum of a convex
+    function is convex, the surviving rows (columns) are contiguous; the
+    interval is taken from first to last surviving strip, which remains a
+    conservative superset even for ill-conditioned conics.  Degenerate
+    conics (non-positive diagonal, non-finite minima) keep the full tile.
+
+    Pairs with no surviving row or column (possible under ``cull="aabb"``,
+    whose tables retain provably-empty pairs) get the empty interval
+    ``(0, 0, 0, 0)``.
+
+    Pairs whose inscribed active circle (``sqrt(limit / lambda_max)``)
+    provably covers every pixel center of the tile take a closed-form
+    full-tile fast path and skip the strip scan entirely — in dense maps
+    that is most pairs, and keeping the full tile is always conservative.
+    """
+    conics = projection.conics
+    a00 = conics[gid_pairs, 0, 0]
+    a01 = conics[gid_pairs, 0, 1]
+    a11 = conics[gid_pairs, 1, 1]
+    cx = projection.means2d[gid_pairs, 0]
+    cy = projection.means2d[gid_pairs, 1]
+    tau = projection.tau
+    if tau is None:
+        # No opacity information: bound opacity by 1, still an exact cull.
+        limit = np.full(len(gid_pairs), -2.0 * np.log(ALPHA_MIN))
+    else:
+        limit = tau[gid_pairs]
+    limit = limit + 2.0 * _CULL_SLACK
+
+    x0 = tile_x * tile_size
+    y0 = tile_y * tile_size
+    # Pixel-center rectangle of the tile, in splat-offset coordinates.
+    lx = x0 + 0.5 - cx
+    ux = x0 + tile_w - 0.5 - cx
+    ly = y0 + 0.5 - cy
+    uy = y0 + tile_h - 0.5 - cy
+
+    # Full-tile fast path: q(d) <= lambda_max |d|^2, so every pixel within
+    # distance sqrt(limit / lambda_max) of the splat center is provably
+    # active.  A pair whose farthest tile pixel center sits inside that
+    # inscribed circle is active on its whole tile — the dominant case in
+    # dense maps — and needs no strip scan.  Keeping the full tile is
+    # always a conservative superset, so float rounding here can only
+    # trade culling opportunity, never correctness; NaN/inf comparisons
+    # evaluate False and drop to the exact strip scan below.
+    lam_max = 0.5 * (a00 + a11) + np.sqrt(0.25 * (a00 - a11) ** 2 + a01 * a01)
+    far_x = np.maximum(np.abs(lx), np.abs(ux))
+    far_y = np.maximum(np.abs(ly), np.abs(uy))
+    with np.errstate(invalid="ignore"):
+        full = (far_x * far_x + far_y * far_y) * lam_max <= limit
+    intervals = np.empty((len(gid_pairs), 4), dtype=np.int64)
+    intervals[:, 0] = 0
+    intervals[:, 1] = tile_h
+    intervals[:, 2] = 0
+    intervals[:, 3] = tile_w
+    if full.all():
+        return intervals
+    idx = np.flatnonzero(~full)
+    a00 = a00[idx]
+    a01 = a01[idx]
+    a11 = a11[idx]
+    limit = limit[idx]
+    lx = lx[idx]
+    ux = ux[idx]
+    ly = ly[idx]
+    uy = uy[idx]
+    x0 = x0[idx]
+    y0 = y0[idx]
+    cx = cx[idx]
+    cy = cy[idx]
+    tile_w = tile_w[idx]
+    tile_h = tile_h[idx]
+
+    n = len(idx)
+    steps = np.arange(tile_size)
+    # Both axes in one stacked (pair, axis, strip) evaluation: axis slot 0
+    # holds row strips (dy fixed, minimize over dx in [lx, ux]), slot 1
+    # column strips (dx fixed, minimize over dy in [ly, uy]).  The column
+    # case is the row formula with the conic diagonal swapped, so a single
+    # conic_strip_min call covers both — half the NumPy kernel dispatches
+    # of two per-axis passes.  The column sum reassociates (a11 dy^2 first
+    # instead of last); any rounding difference is within the _CULL_SLACK
+    # margin already carried by ``limit``, so the interval stays a
+    # conservative superset of the alpha >= ALPHA_MIN support.
+    amin = np.empty((n, 2, 1))
+    amin[:, 0, 0] = a00
+    amin[:, 1, 0] = a11
+    aoth = np.empty((n, 2, 1))
+    aoth[:, 0, 0] = a11
+    aoth[:, 1, 0] = a00
+    lo = np.empty((n, 2, 1))
+    lo[:, 0, 0] = lx
+    lo[:, 1, 0] = ly
+    hi = np.empty((n, 2, 1))
+    hi[:, 0, 0] = ux
+    hi[:, 1, 0] = uy
+    origin = np.empty((n, 2, 1))
+    origin[:, 0, 0] = y0
+    origin[:, 1, 0] = x0
+    center = np.empty((n, 2, 1))
+    center[:, 0, 0] = cy
+    center[:, 1, 0] = cx
+    c_strips = origin + (steps + 0.5) - center
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = conic_strip_min(amin, a01[:, None, None], aoth, c_strips, lo, hi, fixed="y")
+
+    real = np.empty((n, 2, tile_size), dtype=bool)
+    real[:, 0, :] = steps[None, :] < tile_h[:, None]
+    real[:, 1, :] = steps[None, :] < tile_w[:, None]
+    act = real & (q <= limit[:, None, None])
+    # A non-finite strip sum implies a non-finite (or overflowed) strip
+    # minimum somewhere — conservative either way, since degenerate pairs
+    # keep the full tile.
+    degenerate = ~((a00 > 0.0) & (a11 > 0.0) & np.isfinite(q.sum(axis=(1, 2))))
+    if degenerate.any():
+        act[degenerate] = real[degenerate]
+
+    # First/last active strip per axis (a conservative hull even if float
+    # round-off ever nicked a middle strip out of the convex run); an
+    # all-false axis yields first = 0 and, via the any-mask product,
+    # last = 0 — the canonical empty interval.
+    first = act.argmax(axis=2)
+    last = (tile_size - act[:, :, ::-1].argmax(axis=2)) * act.any(axis=2)
+    sub = np.empty((n, 4), dtype=np.int64)
+    sub[:, 0] = first[:, 0]
+    sub[:, 1] = last[:, 0]
+    sub[:, 2] = first[:, 1]
+    sub[:, 3] = last[:, 1]
+    # An empty axis means the pair touches nothing: normalize both axes to
+    # the canonical empty interval so active-pixel counts multiply cleanly.
+    empty = (sub[:, 1] == sub[:, 0]) | (sub[:, 3] == sub[:, 2])
+    sub[empty] = 0
+    intervals[idx] = sub
+    return intervals
+
+
 def assign_tiles(
     projection: ProjectionResult,
     width: int,
     height: int,
     tile_size: int = TILE_SIZE,
     cull: str = "precise",
+    sparsity: str = "pixel",
     perf=None,
 ) -> TileGrid:
     """Assign projected Gaussians to tiles and depth-sort every table.
@@ -281,8 +475,15 @@ def assign_tiles(
             is provably below ``ALPHA_MIN`` at every pixel center of the
             tile (exact — rendered output is unchanged); ``"aabb"`` keeps
             the classic bounding-box expansion.
+        sparsity: ``"pixel"`` (default) additionally computes, per
+            retained pair, the active row/column interval outside of which
+            the splat's alpha is provably below ``ALPHA_MIN`` (stored in
+            ``GaussianTable.intervals``; the rasterizer then evaluates
+            only the active sub-rectangle — exact, output is unchanged);
+            ``"tile"`` evaluates every pixel of every retained pair.
         perf: optional :class:`repro.perf.PerfRecorder`; receives the
-            ``raster.pairs_total`` / ``raster.pairs_culled`` counters.
+            ``raster.pairs_total`` / ``raster.pairs_culled`` and
+            ``raster.pixels_total`` / ``raster.pixels_culled`` counters.
 
     Returns:
         A :class:`TileGrid` whose tables list the overlapping Gaussians of
@@ -290,6 +491,10 @@ def assign_tiles(
     """
     if cull not in CULL_MODES:
         raise ValueError(f"unknown cull mode {cull!r}; expected one of {CULL_MODES}")
+    if sparsity not in SPARSITY_MODES:
+        raise ValueError(
+            f"unknown sparsity mode {sparsity!r}; expected one of {SPARSITY_MODES}"
+        )
     tiles_x, tiles_y = build_tile_grid(width, height, tile_size)
     num_tiles = tiles_x * tiles_y
     visible_ids = np.nonzero(projection.visible)[0]
@@ -301,7 +506,10 @@ def assign_tiles(
     legacy = cull == "aabb" and radius_mode == "sigma"
     pairs_total = 0
     pairs_culled = 0
+    pixels_total = 0
+    pixels_culled = 0
     culled_pixels: np.ndarray | None = None
+    intervals_sorted: np.ndarray | None = None
 
     # Vectorized (Gaussian, tile) pair expansion: per-Gaussian tile ranges,
     # one flat pair list, then a stable sort by tile.  Pairs are generated
@@ -356,44 +564,69 @@ def assign_tiles(
                 tile_pairs = tile_pairs[keep]
             pairs_culled = pairs_total - len(gid_pairs)
 
+        # Per-pair tile shapes of the *retained* pairs (edge tiles ragged).
+        tile_x = tile_pairs % tiles_x
+        tile_y = tile_pairs // tiles_x
+        tile_w_pairs = np.minimum((tile_x + 1) * tile_size, width) - tile_x * tile_size
+        tile_h_pairs = np.minimum((tile_y + 1) * tile_size, height) - tile_y * tile_size
+        tile_pix = tile_w_pairs * tile_h_pairs
+        pixels_total = int(tile_pix.sum())
+
+        if not legacy:
             # Pixels of the dropped (all provably zero-alpha) pairs, per
             # Gaussian: the stats render adds them back so contribution
             # statistics match the un-culled tables exactly.
-            tile_x = tile_pairs % tiles_x
-            tile_y = tile_pairs // tiles_x
-            tile_pix = (
-                np.minimum((tile_x + 1) * tile_size, width) - tile_x * tile_size
-            ) * (np.minimum((tile_y + 1) * tile_size, height) - tile_y * tile_size)
             survived = np.bincount(gid_pairs, weights=tile_pix, minlength=count)
             culled_pixels = np.zeros(count, dtype=np.int64)
             culled_pixels[visible_ids] = base_pixels
             culled_pixels -= survived.astype(np.int64)
 
-        order = np.argsort(tile_pairs, kind="stable")
+        intervals: np.ndarray | None = None
+        if sparsity == "pixel" and len(gid_pairs):
+            intervals = _active_intervals(
+                projection, gid_pairs, tile_x, tile_y, tile_w_pairs, tile_h_pairs, tile_size
+            )
+            active_pix = (intervals[:, 1] - intervals[:, 0]) * (
+                intervals[:, 3] - intervals[:, 2]
+            )
+            pixels_culled = pixels_total - int(active_pix.sum())
+
+        # One global stable sort by (tile, depth): per-table id/depth/interval
+        # arrays then fall out as contiguous zero-copy slices.  Tie-breaking
+        # matches the former per-tile stable depth argsort exactly (lexsort is
+        # stable, primary key last), so table order — and therefore every
+        # downstream image and statistic — is bit-identical.
+        order = np.lexsort((depths[gid_pairs], tile_pairs))
         tile_sorted = tile_pairs[order]
         gid_sorted = gid_pairs[order]
+        depths_sorted = depths[gid_sorted]
+        if intervals is not None:
+            intervals_sorted = intervals[order]
         bounds = np.searchsorted(tile_sorted, np.arange(num_tiles + 1))
     else:
         if not legacy:
             culled_pixels = np.zeros(count, dtype=np.int64)
         gid_sorted = np.zeros(0, dtype=np.int64)
+        depths_sorted = np.zeros(0)
         bounds = np.zeros(num_tiles + 1, dtype=np.int64)
 
     if perf is not None:
         perf.count("raster.pairs_total", pairs_total)
         perf.count("raster.pairs_culled", pairs_culled)
+        perf.count("raster.pixels_total", pixels_total)
+        perf.count("raster.pixels_culled", pixels_culled)
 
     tables: list[GaussianTable] = []
     empty_ids = np.zeros(0, dtype=np.int64)
     empty_depths = np.zeros(0)
     for tile_index in range(num_tiles):
         start, end = int(bounds[tile_index]), int(bounds[tile_index + 1])
+        table_intervals = None
         if end > start:
             ids = gid_sorted[start:end]
-            tile_depths = depths[ids]
-            depth_order = np.argsort(tile_depths, kind="stable")
-            ids = ids[depth_order]
-            tile_depths = tile_depths[depth_order]
+            tile_depths = depths_sorted[start:end]
+            if intervals_sorted is not None:
+                table_intervals = intervals_sorted[start:end]
         else:
             ids = empty_ids
             tile_depths = empty_depths
@@ -403,6 +636,7 @@ def assign_tiles(
                 tile_y=tile_index // tiles_x,
                 gaussian_ids=ids,
                 depths=tile_depths,
+                intervals=table_intervals,
             )
         )
 
@@ -418,4 +652,7 @@ def assign_tiles(
         culled_pixels=culled_pixels,
         cull=cull,
         radius_mode=radius_mode,
+        sparsity=sparsity,
+        pixels_total=pixels_total,
+        pixels_culled=pixels_culled,
     )

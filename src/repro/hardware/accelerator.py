@@ -34,19 +34,27 @@ def record_trace_counters(perf: PerfRecorder, trace: SequenceTrace) -> None:
     pairs = 0
     table_entries = 0
     renders = 0
+    pixels_total = 0
+    pixels_culled = 0
     for frame in trace.frames:
         for render in frame.tracking.refine_renders:
             pairs += render.pairs_computed
             table_entries += render.gaussians_rendered
+            pixels_total += render.pixels_total
+            pixels_culled += render.pixels_culled
             renders += 1
         for render in frame.mapping.renders:
             pairs += render.pairs_computed
             table_entries += render.gaussians_rendered
+            pixels_total += render.pixels_total
+            pixels_culled += render.pixels_culled
             renders += 1
     perf.count("hw.frames", len(trace.frames))
     perf.count("hw.render_iterations", renders)
     perf.count("hw.render_pairs", pairs)
     perf.count("hw.table_entries", table_entries)
+    perf.count("hw.pixels_total", pixels_total)
+    perf.count("hw.pixels_culled", pixels_culled)
 
 
 @dataclasses.dataclass

@@ -23,6 +23,7 @@ __all__ = [
     "BYTES_PER_GAUSSIAN_GRADIENTS",
     "BYTES_PER_PIXEL_STATE",
     "BYTES_PER_TABLE_ENTRY",
+    "BYTES_PER_PAIR_TRAFFIC",
     "CYCLES_ALPHA_STAGE",
     "CYCLES_BLEND_STAGE",
     "CYCLES_GRADIENT_STAGE",
@@ -58,6 +59,11 @@ BYTES_PER_GAUSSIAN_GRADIENTS = 3 * 14 * 4
 BYTES_PER_PIXEL_STATE = 6 * 4
 # One GS logging / skipping table entry: Gaussian ID + count (+ flag).
 BYTES_PER_TABLE_ENTRY = 8
+# Per evaluated (pixel, Gaussian) pair: the slice of sorted-table reads
+# and partial blending state that spills past the on-chip tile buffers.
+# Ties DRAM traffic to the rasterization workload, so measured pair- and
+# pixel-level culling shrinks simulated traffic, not just compute.
+BYTES_PER_PAIR_TRAFFIC = 2
 
 # ---------------------------------------------------------------------------
 # Cycle costs of the AGS pipelines (per unit of work, per processing element).

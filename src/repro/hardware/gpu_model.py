@@ -24,6 +24,7 @@ from repro.perf import NULL_RECORDER, PerfRecorder
 from repro.hardware.costs import (
     BYTES_PER_GAUSSIAN_FEATURES,
     BYTES_PER_GAUSSIAN_GRADIENTS,
+    BYTES_PER_PAIR_TRAFFIC,
     BYTES_PER_PIXEL_STATE,
     BYTES_PER_TABLE_ENTRY,
     FLOPS_ALPHA_PER_PAIR,
@@ -73,6 +74,7 @@ class GpuPlatform:
         traffic = (
             workload.num_gaussians * BYTES_PER_GAUSSIAN_FEATURES
             + workload.num_pixels * BYTES_PER_PIXEL_STATE
+            + workload.pairs_computed * BYTES_PER_PAIR_TRAFFIC
         )
         if workload.includes_backward:
             traffic += workload.num_gaussians * BYTES_PER_GAUSSIAN_GRADIENTS

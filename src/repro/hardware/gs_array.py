@@ -13,6 +13,7 @@ import dataclasses
 from repro.hardware.costs import (
     BYTES_PER_GAUSSIAN_FEATURES,
     BYTES_PER_GAUSSIAN_GRADIENTS,
+    BYTES_PER_PAIR_TRAFFIC,
     BYTES_PER_PIXEL_STATE,
     CYCLES_ALPHA_STAGE,
     CYCLES_BLEND_STAGE,
@@ -91,6 +92,7 @@ class GsArray:
         dram_bytes = (
             workload.num_gaussians * BYTES_PER_GAUSSIAN_FEATURES
             + workload.num_pixels * BYTES_PER_PIXEL_STATE
+            + workload.pairs_computed * BYTES_PER_PAIR_TRAFFIC
         )
         if workload.includes_backward:
             dram_bytes += workload.num_gaussians * BYTES_PER_GAUSSIAN_GRADIENTS

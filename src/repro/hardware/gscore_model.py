@@ -51,7 +51,14 @@ class GsCorePlatform:
     # ------------------------------------------------------------------
     def forward_seconds(self, workload: RenderWorkload) -> float:
         """Forward rendering latency on the GSCore units."""
-        pairs = workload.pairs_computed * (1.0 - self.subtile_skip_fraction)
+        if workload.pixels_culled > 0:
+            # The workload was collected with measured pixel-level
+            # interval culling: ``pairs_computed`` already excludes the
+            # inactive sub-tile entries, so applying GSCore's static
+            # sub-tile skip estimate on top would double-discount.
+            pairs = float(workload.pairs_computed)
+        else:
+            pairs = workload.pairs_computed * (1.0 - self.subtile_skip_fraction)
         cycles = (
             workload.num_gaussians * CYCLES_PREPROCESS / 16.0
             + workload.gaussians_rendered * CYCLES_SORT_PER_GAUSSIAN / 8.0

@@ -13,7 +13,13 @@ import pathlib
 
 from repro.ioutil import atomic_write_text
 
-__all__ = ["ROBUSTNESS_COUNTERS", "build_report", "format_report", "write_json_report"]
+__all__ = [
+    "RASTERIZER_COUNTERS",
+    "ROBUSTNESS_COUNTERS",
+    "build_report",
+    "format_report",
+    "write_json_report",
+]
 
 # The session-health counters every report surfaces explicitly (zero
 # when they never fired): a clean run *showing* zero degraded frames is
@@ -30,14 +36,38 @@ ROBUSTNESS_COUNTERS = (
     "service.recoveries",
 )
 
+# The rasterizer sparsity counters, surfaced the same way: pair-level
+# culling (PR 5's exact tile tables) and pixel-level culling (the
+# active-interval masks) are the two workload reductions every perf
+# report should quantify, as explicit zeros when rendering never ran.
+RASTERIZER_COUNTERS = (
+    "raster.pairs_total",
+    "raster.pairs_culled",
+    "raster.pixels_total",
+    "raster.pixels_culled",
+)
+
+
+def _culling_ratios(counters: dict) -> dict:
+    """Pair/pixel culled fractions from the raster counters (0 when idle)."""
+    ratios = {}
+    for kind in ("pairs", "pixels"):
+        total = float(counters.get(f"raster.{kind}_total", 0) or 0)
+        culled = float(counters.get(f"raster.{kind}_culled", 0) or 0)
+        ratios[f"{kind}_culled_fraction"] = round(culled / total, 6) if total else 0.0
+    return ratios
+
 
 def build_report(recorder, extra: dict | None = None) -> dict:
-    """Return ``{"timers", "counters", "robustness"}`` (+ optional extras)."""
+    """Return ``{"timers", "counters", "robustness", "rasterizer"}`` (+ extras)."""
     counters = recorder.counters.as_dict()
+    rasterizer = {name: counters.get(name, 0) for name in RASTERIZER_COUNTERS}
+    rasterizer.update(_culling_ratios(counters))
     report = {
         "timers": recorder.timers.as_dict(),
         "counters": counters,
         "robustness": {name: counters.get(name, 0) for name in ROBUSTNESS_COUNTERS},
+        "rasterizer": rasterizer,
     }
     if extra:
         report.update(extra)
@@ -76,12 +106,21 @@ def format_report(recorder, title: str = "perf report") -> str:
             rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.3f}"
             lines.append(f"{name.ljust(name_width)}{rendered:>16}")
     shown = set(counters)
-    missing = [name for name in ROBUSTNESS_COUNTERS if name not in shown]
+    missing = [
+        name
+        for name in ROBUSTNESS_COUNTERS + RASTERIZER_COUNTERS
+        if name not in shown
+    ]
     if missing:
         lines.append("")
         name_width = max(len(name) for name in missing) + 2
         for name in missing:
             lines.append(f"{name.ljust(name_width)}{'0':>16}")
+    ratios = _culling_ratios(counters)
+    lines.append("")
+    name_width = max(len(name) for name in ratios) + 2
+    for name, value in sorted(ratios.items()):
+        lines.append(f"{name.ljust(name_width)}{value:>16.4f}")
     return "\n".join(lines)
 
 

@@ -42,6 +42,12 @@ class RenderWorkload:
         per_pixel_mean / per_pixel_max: blended-Gaussian statistics per
             pixel (drive the load-imbalance model).
         includes_backward: whether a gradient pass followed the forward.
+        pixels_total: per-pair tile pixels of the retained (tile, Gaussian)
+            pairs — the within-tile work a tile-granular rasterizer would
+            execute.
+        pixels_culled: of those, the entries removed by the pixel-level
+            active-interval culling (0 under ``sparsity="tile"``); the
+            hardware models use the ratio to discount within-tile work.
     """
 
     num_gaussians: int
@@ -54,6 +60,8 @@ class RenderWorkload:
     per_pixel_mean: float
     per_pixel_max: float
     includes_backward: bool = False
+    pixels_total: int = 0
+    pixels_culled: int = 0
 
     @classmethod
     def from_result(cls, result, includes_backward: bool = False) -> "RenderWorkload":
@@ -77,6 +85,8 @@ class RenderWorkload:
             per_pixel_mean=float(per_pixel.mean()),
             per_pixel_max=float(per_pixel.max()),
             includes_backward=includes_backward,
+            pixels_total=int(getattr(result.tile_grid, "pixels_total", 0)),
+            pixels_culled=int(getattr(result.tile_grid, "pixels_culled", 0)),
         )
 
     def scaled(self, factor: float) -> "RenderWorkload":
@@ -87,6 +97,8 @@ class RenderWorkload:
             pairs_computed=int(self.pairs_computed * factor),
             pairs_blended=int(self.pairs_blended * factor),
             num_pixels=int(self.num_pixels * factor),
+            pixels_total=int(self.pixels_total * factor),
+            pixels_culled=int(self.pixels_culled * factor),
         )
 
 
@@ -221,6 +233,8 @@ def scale_trace(
             per_pixel_mean=render.per_pixel_mean * density_factor,
             per_pixel_max=render.per_pixel_max * density_factor,
             includes_backward=render.includes_backward,
+            pixels_total=int(render.pixels_total * gaussian_factor),
+            pixels_culled=int(render.pixels_culled * gaussian_factor),
         )
 
     frames = []

@@ -35,7 +35,11 @@ from repro.gaussians import (
     render_backward,
 )
 from repro.gaussians.projection import ALPHA_MIN, RADIUS_MODES, project_gaussians
-from repro.gaussians.rasterizer import DEFAULT_CULL_MODE, DEFAULT_RADIUS_MODE
+from repro.gaussians.rasterizer import (
+    DEFAULT_CULL_MODE,
+    DEFAULT_RADIUS_MODE,
+    DEFAULT_SPARSITY_MODE,
+)
 from repro.gaussians.tiles import CULL_MODES, assign_tiles
 from repro.perf import PerfRecorder
 
@@ -119,7 +123,9 @@ def test_tile_grid_pair_accounting_consistent():
     assert grid.pairs_total - grid.pairs_culled == grid.total_assignments()
     assert grid.cull == DEFAULT_CULL_MODE
     assert grid.radius_mode == DEFAULT_RADIUS_MODE
-    assert grid.mode_tag == f"{DEFAULT_RADIUS_MODE}:{DEFAULT_CULL_MODE}"
+    assert grid.mode_tag == (
+        f"{DEFAULT_RADIUS_MODE}:{DEFAULT_CULL_MODE}:{DEFAULT_SPARSITY_MODE}"
+    )
     # The legacy configuration reports its own pair count and no culling.
     legacy_grid = render(model, camera, radius="sigma", cull="aabb").tile_grid
     assert legacy_grid.pairs_culled == 0
@@ -165,10 +171,17 @@ def test_reference_backend_stats_invariant_across_modes():
 
 def test_workload_shrinks_but_blended_pairs_invariant():
     model, camera = _mixed_opacity_scene()
-    legacy = render(model, camera, radius="sigma", cull="aabb")
-    culled = render(model, camera)
+    # Pair culling is measured under sparsity="tile" (pixel sparsity would
+    # equalize the computed-pair counts, since it already masks out every
+    # inactive pixel of the extra legacy pairs).
+    legacy = render(model, camera, radius="sigma", cull="aabb", sparsity="tile")
+    culled = render(model, camera, sparsity="tile")
     assert culled.total_pairs_computed < legacy.total_pairs_computed
     assert culled.total_pairs_blended == legacy.total_pairs_blended
+    # Pixel sparsity shrinks the computed pairs further, blending invariant.
+    pixel = render(model, camera)
+    assert pixel.total_pairs_computed < culled.total_pairs_computed
+    assert pixel.total_pairs_blended == culled.total_pairs_blended
 
 
 def test_active_mask_culling_bit_identical():
@@ -228,7 +241,9 @@ def test_cache_mode_stamp_recorded():
     model, camera = _scene()
     cache = ForwardCache()
     result = render(model, camera, cache=cache)
-    assert result.forward_cache_mode == f"{DEFAULT_RADIUS_MODE}:{DEFAULT_CULL_MODE}"
+    assert result.forward_cache_mode == (
+        f"{DEFAULT_RADIUS_MODE}:{DEFAULT_CULL_MODE}:{DEFAULT_SPARSITY_MODE}"
+    )
     assert cache.mode == result.forward_cache_mode
 
 
@@ -295,7 +310,17 @@ def test_float32_cache_store_keeps_images_and_approximates_gradients():
                  cache=cache32)
     # Storage precision must not leak into the composited images.
     _assert_renders_bit_identical(r64, r32)
-    assert cache32.nbytes < cache64.nbytes
+    retained64 = sum(
+        c.alpha.nbytes + c.t_before.nbytes + c.weights.nbytes + c.dx.nbytes
+        + c.dy.nbytes + c.opac.nbytes
+        for c in cache64.chunks
+    )
+    retained32 = sum(
+        c.alpha.nbytes + c.t_before.nbytes + c.weights.nbytes + c.dx.nbytes
+        + c.dy.nbytes + c.opac.nbytes
+        for c in cache32.chunks
+    )
+    assert retained32 < retained64
     grad_color = rng.normal(size=r64.color.shape)
     grad_depth = rng.normal(size=r64.depth.shape)
     g64, p64 = render_backward(model, camera, r64, grad_color, grad_depth,
