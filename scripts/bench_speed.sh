@@ -2,8 +2,9 @@
 # Hot-path perf gate: re-measure the motion-estimation, rasterizer,
 # rasterizer-backward, pair-culling, pixel-sparsity and pipelined-executor
 # benchmarks and update BENCH_hotpaths.json / BENCH_backward.json /
-# BENCH_culling.json / BENCH_sparsity.json / BENCH_pipeline.json at the
-# repo root.
+# BENCH_culling.json / BENCH_sparsity.json / BENCH_pipeline.json (plus
+# the correctness-gated BENCH_robustness.json / BENCH_faults.json /
+# BENCH_serve.json) at the repo root.
 #
 # If a gated hot-path timing regressed by more than 20% against a
 # committed BENCH_*.json, the script exits non-zero and leaves that
@@ -16,7 +17,7 @@
 #        scripts/bench_speed.sh --only culling --repeats 9
 #
 # --only runs a single benchmark; <bench> is one of:
-#   hotpaths backward culling sparsity pipeline robustness faults
+#   hotpaths backward culling sparsity pipeline robustness faults serve
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,10 +31,10 @@ if [[ "${1:-}" == "--only" ]]; then
     ONLY="$2"
     shift 2
     case "$ONLY" in
-        hotpaths|backward|culling|sparsity|pipeline|robustness|faults) ;;
+        hotpaths|backward|culling|sparsity|pipeline|robustness|faults|serve) ;;
         *)
             echo "unknown benchmark: $ONLY" >&2
-            echo "expected one of: hotpaths backward culling sparsity pipeline robustness faults" >&2
+            echo "expected one of: hotpaths backward culling sparsity pipeline robustness faults serve" >&2
             exit 2
             ;;
     esac
@@ -59,3 +60,7 @@ run_bench robustness benchmarks/bench_robustness.py --gate
 # Fault-recovery grid: correctness-gated (crash-at-fault + recovery is
 # bit-identical to the uninterrupted run, per plan x system).
 run_bench faults benchmarks/bench_faults.py --gate
+# Serving tier: correctness-gated (async streams over a tiny parking
+# budget are bit-identical to a synchronous feed loop); throughput and
+# ingest latency are recorded, not gated.
+run_bench serve benchmarks/bench_serve.py --gate

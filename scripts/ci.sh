@@ -67,6 +67,13 @@ echo "== fault-recovery smoke =="
 # lane (tests/test_faults.py -m slow) and in benchmarks/bench_faults.py.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_faults.py --smoke
 
+echo "== serving smoke =="
+# Two interleaved streams over a one-slot registry: eviction must park
+# and resume mid-stream without breaking bit-identity with a plain
+# synchronous feed.  The 1/4/16-session grid runs in
+# benchmarks/bench_serve.py.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_serve.py --smoke
+
 if [[ "$RUN_SLOW" == "1" ]]; then
     echo "== slow lane (randomized equivalence sweeps + full robustness and fault matrices) =="
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m slow

@@ -27,7 +27,6 @@ over the process-default service.
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 import pathlib
 import tempfile
@@ -37,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import CheckpointCorruptError, RunManyError, TransientError
 from repro.perf import PerfRecorder, global_recorder
+from repro.serve.registry import LruMap, ParkingLot
 from repro.slam.results import SlamResult
 from repro.slam.session import (
     EXECUTION_MODES,
@@ -50,6 +50,7 @@ __all__ = [
     "RetryPolicy",
     "RunKey",
     "SlamService",
+    "build_session",
     "configure_default_service",
     "default_service",
 ]
@@ -177,21 +178,38 @@ class RunKey:
         return "-".join(parts).replace("/", "_")
 
 
-def _build_system(key: RunKey, perf: PerfRecorder, watchdog_timeout: float | None = None):
-    """Instantiate the system + sequence for ``key``.
+def build_session(
+    algorithm: str,
+    intrinsics,
+    tracking_iterations: int = 20,
+    mapping_iterations: int = 5,
+    iter_t: int = 4,
+    thresh_m: float = 0.5,
+    thresh_n: int | None = None,
+    enable_mat: bool = True,
+    enable_gcm: bool = True,
+    fallbacks: bool = True,
+    execution: str = "sequential",
+    perf: PerfRecorder | None = None,
+    watchdog_timeout: float | None = None,
+):
+    """Instantiate one configured :class:`SlamSession` for ``algorithm``.
 
-    Returns ``(system, sequence, finish)`` where ``finish(result)``
-    applies any key-specific post-processing (currently the
-    droid-splatam algorithm rename).  Shared by the from-scratch
-    executor and the recovery driver so both paths configure runs
-    identically.
+    The single system-construction path shared by the service executors
+    (via :func:`_build_system`) and the serving tier
+    (:func:`repro.serve.api.default_session_factory` builds registry
+    session factories from it) — both layers configuring a system the
+    same way is what makes a session parked by one resumable by the
+    other.  The defaults mirror :class:`RunKey`'s.
     """
+    if algorithm not in KNOWN_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm '{algorithm}'; expected one of {KNOWN_ALGORITHMS}"
+        )
     # Imported here: the SLAM systems import the perf subsystem, and the
     # eval layer is the composition root — keeping the import local avoids
     # a hard dependency for callers that only build keys.
     from repro.core import AGSConfig, AgsSlam
-    from repro.datasets import load_sequence
-    from repro.datasets.scenarios import apply_scenario
     from repro.slam import (
         DroidLiteSlam,
         GaussianSlam,
@@ -202,79 +220,113 @@ def _build_system(key: RunKey, perf: PerfRecorder, watchdog_timeout: float | Non
         SplaTamConfig,
     )
 
-    sequence = apply_scenario(
-        load_sequence(key.sequence, num_frames=key.num_frames), key.scenario
-    )
-    health = HealthConfig(enabled=key.fallbacks)
-    common = dict(perf=perf, execution=key.execution, watchdog_timeout=watchdog_timeout)
+    health = HealthConfig(enabled=fallbacks)
+    common = dict(perf=perf, execution=execution, watchdog_timeout=watchdog_timeout)
 
-    def finish(result: SlamResult) -> SlamResult:
-        return result
-
-    if key.algorithm == "splatam":
-        system = SplaTam(
-            sequence.intrinsics,
+    if algorithm == "splatam":
+        return SplaTam(
+            intrinsics,
             SplaTamConfig(
-                tracking_iterations=key.tracking_iterations,
-                mapping_iterations=key.mapping_iterations,
+                tracking_iterations=tracking_iterations,
+                mapping_iterations=mapping_iterations,
                 health=health,
             ),
             **common,
         )
-    elif key.algorithm == "gaussian-slam":
-        system = GaussianSlam(
-            sequence.intrinsics,
+    if algorithm == "gaussian-slam":
+        return GaussianSlam(
+            intrinsics,
             GaussianSlamConfig(
-                tracking_iterations=key.tracking_iterations,
-                mapping_iterations=key.mapping_iterations,
+                tracking_iterations=tracking_iterations,
+                mapping_iterations=mapping_iterations,
                 health=health,
             ),
             **common,
         )
-    elif key.algorithm == "orb":
-        system = OrbLiteSlam(sequence.intrinsics, **common)
-    elif key.algorithm == "droid":
-        system = DroidLiteSlam(sequence.intrinsics, **common)
-    elif key.algorithm in ("ags", "ags-gaussian-slam"):
+    if algorithm == "orb":
+        return OrbLiteSlam(intrinsics, **common)
+    if algorithm == "droid":
+        return DroidLiteSlam(intrinsics, **common)
+    if algorithm in ("ags", "ags-gaussian-slam"):
         config = AGSConfig(
-            iter_t=key.iter_t,
-            thresh_m=key.thresh_m,
-            thresh_n=key.thresh_n,
-            baseline_tracking_iterations=key.tracking_iterations,
-            enable_movement_adaptive_tracking=key.enable_mat,
-            enable_contribution_mapping=key.enable_gcm,
+            iter_t=iter_t,
+            thresh_m=thresh_m,
+            thresh_n=thresh_n,
+            baseline_tracking_iterations=tracking_iterations,
+            enable_movement_adaptive_tracking=enable_mat,
+            enable_contribution_mapping=enable_gcm,
         )
-        system = AgsSlam(
-            sequence.intrinsics,
+        return AgsSlam(
+            intrinsics,
             config,
-            mapping_iterations=key.mapping_iterations,
+            mapping_iterations=mapping_iterations,
             health_config=health,
             **common,
         )
-    elif key.algorithm == "droid-splatam":
+    if algorithm == "droid-splatam":
         # Direct integration of the coarse tracker with SplaTAM mapping:
         # every frame keeps the coarse pose (thresh_t below any possible
         # covisibility disables refinement) and runs full mapping.
         config = AGSConfig(
             thresh_t=-1.0,
             iter_t=0,
-            baseline_tracking_iterations=key.tracking_iterations,
+            baseline_tracking_iterations=tracking_iterations,
             enable_contribution_mapping=False,
         )
-        system = AgsSlam(
-            sequence.intrinsics,
+        return AgsSlam(
+            intrinsics,
             config,
-            mapping_iterations=key.mapping_iterations,
+            mapping_iterations=mapping_iterations,
             health_config=health,
             **common,
         )
+    raise AssertionError(  # pragma: no cover - validated above
+        f"unhandled algorithm '{algorithm}'"
+    )
+
+
+def _build_system(key: RunKey, perf: PerfRecorder, watchdog_timeout: float | None = None):
+    """Instantiate the system + sequence for ``key``.
+
+    Returns ``(system, sequence, finish)`` where ``finish(result)``
+    applies any key-specific post-processing (currently the
+    droid-splatam algorithm rename).  Shared by the from-scratch
+    executor and the recovery driver so both paths configure runs
+    identically.
+    """
+    from repro.datasets import load_sequence
+    from repro.datasets.scenarios import apply_scenario
+
+    sequence = apply_scenario(
+        load_sequence(key.sequence, num_frames=key.num_frames), key.scenario
+    )
+    system = build_session(
+        key.algorithm,
+        sequence.intrinsics,
+        tracking_iterations=key.tracking_iterations,
+        mapping_iterations=key.mapping_iterations,
+        iter_t=key.iter_t,
+        thresh_m=key.thresh_m,
+        thresh_n=key.thresh_n,
+        enable_mat=key.enable_mat,
+        enable_gcm=key.enable_gcm,
+        fallbacks=key.fallbacks,
+        execution=key.execution,
+        perf=perf,
+        watchdog_timeout=watchdog_timeout,
+    )
+
+    if key.algorithm == "droid-splatam":
 
         def finish(result: SlamResult) -> SlamResult:
             result.algorithm = "droid-splatam"
             return result
 
-    else:  # pragma: no cover - KNOWN_ALGORITHMS is validated at key build
-        raise AssertionError(f"unhandled algorithm '{key.algorithm}'")
+    else:
+
+        def finish(result: SlamResult) -> SlamResult:
+            return result
+
     return system, sequence, finish
 
 
@@ -348,18 +400,20 @@ class SlamService:
         autocheckpoint_every: int = 0,
         retry: "RetryPolicy | None" = None,
         watchdog_timeout: float | None = None,
+        keep_parked: bool = False,
     ) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
         if autocheckpoint_every < 0:
             raise ValueError("autocheckpoint_every must be >= 0 (0 disables)")
-        self.max_entries = max_entries
+        # The bounded-LRU mechanics live in repro.serve.registry.LruMap —
+        # one eviction implementation shared with the serving tier's
+        # SessionRegistry (which parks instead of dropping).
+        self._store: LruMap = LruMap(max_entries)
         self.checkpoint_dir = None if checkpoint_dir is None else pathlib.Path(checkpoint_dir)
         self.perf = perf or global_recorder()
         self.autocheckpoint_every = autocheckpoint_every
         self.retry = retry
         self.watchdog_timeout = watchdog_timeout
-        self._store: collections.OrderedDict[RunKey, SlamResult] = collections.OrderedDict()
+        self.keep_parked = keep_parked
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -370,6 +424,16 @@ class SlamService:
     # ------------------------------------------------------------------
     # Store management
     # ------------------------------------------------------------------
+    @property
+    def max_entries(self) -> int:
+        """LRU budget of retained results (shrinking trims on commit)."""
+        return self._store.budget
+
+    @max_entries.setter
+    def max_entries(self, value: int) -> None:
+        with self._lock:
+            self.evictions += self._store.trim(value)
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -380,7 +444,7 @@ class SlamService:
     def cached_keys(self) -> list[RunKey]:
         """Retained keys, least- to most-recently used."""
         with self._lock:
-            return list(self._store)
+            return self._store.keys()
 
     def clear(self) -> None:
         """Drop every retained run."""
@@ -390,16 +454,11 @@ class SlamService:
     def _get(self, key: RunKey) -> SlamResult | None:
         result = self._store.get(key)
         if result is not None:
-            self._store.move_to_end(key)
             self.hits += 1
         return result
 
     def _put(self, key: RunKey, result: SlamResult) -> None:
-        self._store[key] = result
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.evictions += 1
+        self.evictions += self._store.put(key, result)
 
     # ------------------------------------------------------------------
     # Execution
@@ -558,7 +617,6 @@ class SlamService:
             # the stored instance so repeated lookups stay identical.
             existing = self._store.get(key)
             if existing is not None:
-                self._store.move_to_end(key)
                 result = existing
             else:
                 self._put(key, result)
@@ -630,7 +688,6 @@ class SlamService:
                             continue
                         existing = self._store.get(key)
                         if existing is not None:
-                            self._store.move_to_end(key)
                             result = existing
                         else:
                             self._put(key, result)
@@ -642,42 +699,61 @@ class SlamService:
     # ------------------------------------------------------------------
     # Disk checkpoints
     # ------------------------------------------------------------------
-    def _checkpoint_path(self, key: RunKey, directory=None) -> pathlib.Path:
+    def _lot(self, directory=None) -> ParkingLot:
         base = pathlib.Path(directory) if directory is not None else self.checkpoint_dir
         if base is None:
             raise ValueError("no checkpoint directory configured")
-        return base / key.slug()
+        return ParkingLot(base, keep_parked=self.keep_parked)
 
     def checkpoint(self, key: RunKey, state: SessionState, directory=None) -> pathlib.Path:
-        """Park a live session's :class:`SessionState` on disk under ``key``."""
-        return save_session_state(state, self._checkpoint_path(key, directory))
+        """Park a live session's :class:`SessionState` on disk under ``key``.
 
-    def resume(self, key: RunKey, directory=None) -> SessionState:
-        """Load the parked session state for ``key``."""
-        return load_session_state(self._checkpoint_path(key, directory))
+        Delegates to the serving tier's :class:`ParkingLot`: repeated
+        checkpoints of one key append ``gen-%05d`` generations under
+        ``<dir>/<key.slug()>`` instead of overwriting, and the returned
+        path is the generation just written.
+        """
+        return self._lot(directory).park(key.slug(), state)
+
+    def resume(self, key: RunKey, directory=None, keep_parked: bool | None = None) -> SessionState:
+        """Load the parked session state for ``key`` (newest valid gen).
+
+        A successful resume deletes the key's parked generations so
+        parking storage stays bounded — earlier revisions leaked the
+        checkpoint directory on every park/resume cycle.  Pass
+        ``keep_parked=True`` (or construct the service with it) to retain
+        them, e.g. to resume the same checkpoint on several shards.
+        """
+        return self._lot(directory).resume(key.slug(), keep_parked=keep_parked)
 
 
+_DEFAULT_LOCK = threading.Lock()
 _DEFAULT_SERVICE = SlamService()
 
 
 def default_service() -> SlamService:
     """The process-wide service instance ``run_slam`` delegates to."""
-    return _DEFAULT_SERVICE
+    with _DEFAULT_LOCK:
+        return _DEFAULT_SERVICE
 
 
 def configure_default_service(
-    max_entries: int | None = None, checkpoint_dir=None
+    max_entries: int | None = None, checkpoint_dir=None, keep_parked: bool | None = None
 ) -> SlamService:
-    """Adjust the process-default service (budget / checkpoint location)."""
-    service = _DEFAULT_SERVICE
-    if max_entries is not None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        service.max_entries = max_entries
-        with service._lock:
-            while len(service._store) > service.max_entries:
-                service._store.popitem(last=False)
-                service.evictions += 1
-    if checkpoint_dir is not None:
-        service.checkpoint_dir = pathlib.Path(checkpoint_dir)
-    return service
+    """Adjust the process-default service (budget / checkpoint location).
+
+    Atomic under concurrency: the module lock serializes configuration
+    against :func:`default_service` lookups, so a racing ``run_slam``
+    sees either the old or the fully new configuration — never a
+    half-configured service (the budget shrink and the trim it implies
+    commit together under the service's store lock).
+    """
+    with _DEFAULT_LOCK:
+        service = _DEFAULT_SERVICE
+        if max_entries is not None:
+            service.max_entries = max_entries
+        if checkpoint_dir is not None:
+            service.checkpoint_dir = pathlib.Path(checkpoint_dir)
+        if keep_parked is not None:
+            service.keep_parked = keep_parked
+        return service

@@ -30,6 +30,7 @@ import threading as _threading
 from repro.perf.counters import PerfCounters
 from repro.perf.report import (
     ROBUSTNESS_COUNTERS,
+    SERVING_COUNTERS,
     build_report,
     format_report,
     write_json_report,
@@ -39,6 +40,7 @@ from repro.perf.timer import NullTimers, PerfTimers, SectionStats
 __all__ = [
     "NULL_RECORDER",
     "ROBUSTNESS_COUNTERS",
+    "SERVING_COUNTERS",
     "NullTimers",
     "PerfCounters",
     "PerfRecorder",

@@ -16,6 +16,7 @@ from repro.ioutil import atomic_write_text
 __all__ = [
     "RASTERIZER_COUNTERS",
     "ROBUSTNESS_COUNTERS",
+    "SERVING_COUNTERS",
     "build_report",
     "format_report",
     "write_json_report",
@@ -47,6 +48,16 @@ RASTERIZER_COUNTERS = (
     "raster.pixels_culled",
 )
 
+# The serving-tier counters (repro.serve), explicit zeros when serving
+# never ran: the ingestion queue's high-water depth, producer blocking
+# episodes on the bounded queue, and registry checkpoint-parking churn.
+SERVING_COUNTERS = (
+    "serve.queue_depth",
+    "serve.backpressure_waits",
+    "serve.sessions_parked",
+    "serve.sessions_resumed",
+)
+
 
 def _culling_ratios(counters: dict) -> dict:
     """Pair/pixel culled fractions from the raster counters (0 when idle)."""
@@ -59,7 +70,7 @@ def _culling_ratios(counters: dict) -> dict:
 
 
 def build_report(recorder, extra: dict | None = None) -> dict:
-    """Return ``{"timers", "counters", "robustness", "rasterizer"}`` (+ extras)."""
+    """Return timers/counters plus the robustness, rasterizer and serving sections."""
     counters = recorder.counters.as_dict()
     rasterizer = {name: counters.get(name, 0) for name in RASTERIZER_COUNTERS}
     rasterizer.update(_culling_ratios(counters))
@@ -68,6 +79,7 @@ def build_report(recorder, extra: dict | None = None) -> dict:
         "counters": counters,
         "robustness": {name: counters.get(name, 0) for name in ROBUSTNESS_COUNTERS},
         "rasterizer": rasterizer,
+        "serving": {name: counters.get(name, 0) for name in SERVING_COUNTERS},
     }
     if extra:
         report.update(extra)
@@ -108,7 +120,7 @@ def format_report(recorder, title: str = "perf report") -> str:
     shown = set(counters)
     missing = [
         name
-        for name in ROBUSTNESS_COUNTERS + RASTERIZER_COUNTERS
+        for name in ROBUSTNESS_COUNTERS + RASTERIZER_COUNTERS + SERVING_COUNTERS
         if name not in shown
     ]
     if missing:

@@ -1,0 +1,44 @@
+"""SLAM-as-a-service: the streaming serving tier.
+
+The batch-eval library (:mod:`repro.eval.service`) answers "run this
+key"; this package answers "serve many concurrent camera streams":
+
+* :mod:`repro.serve.registry` — bounded session registry with LRU
+  *checkpoint parking* eviction (bit-exact park/resume on any shard).
+* :mod:`repro.serve.ingest` — asynchronous frame ingestion: bounded
+  per-session queues drained by a worker pool, bit-identical to
+  synchronous feeding.
+* :mod:`repro.serve.shard` — deterministic session-id routing across N
+  registry shards sharing one parking root.
+* :mod:`repro.serve.api` — the stdlib-only HTTP frontend (JSON/npz).
+
+See the README's "Serving" section and ``examples/streaming_service.py``.
+"""
+
+from repro.serve.registry import LruMap, ParkingLot, SessionRegistry
+from repro.serve.ingest import AsyncSessionHandle, IngestPool
+from repro.serve.shard import ShardedRegistry, shard_index
+from repro.serve.api import (
+    SlamClient,
+    SlamServer,
+    decode_frame,
+    default_session_factory,
+    encode_frame,
+    result_to_payload,
+)
+
+__all__ = [
+    "AsyncSessionHandle",
+    "IngestPool",
+    "LruMap",
+    "ParkingLot",
+    "SessionRegistry",
+    "ShardedRegistry",
+    "SlamClient",
+    "SlamServer",
+    "decode_frame",
+    "default_session_factory",
+    "encode_frame",
+    "result_to_payload",
+    "shard_index",
+]

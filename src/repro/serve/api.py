@@ -1,0 +1,386 @@
+"""The network-facing frame-ingestion API (stdlib only).
+
+A thin HTTP layer over the serving tier — ``http.server`` plus JSON and
+npz payloads, no dependencies beyond the standard library:
+
+* ``POST /sessions`` — JSON spec ``{"session_id", "algorithm", "width",
+  "height", ...}`` opens (or transparently resumes) a session, routed to
+  its shard by :func:`repro.serve.shard.shard_index`.
+* ``POST /sessions/<id>/frames`` — one RGB-D frame as an npz body
+  (:func:`encode_frame`); enqueued asynchronously, responds with the
+  frame's assigned index before tracking/mapping run.
+* ``GET /sessions/<id>/result`` — flushes the queue and returns the
+  finalized result as JSON (:func:`result_to_payload`).
+* ``POST /sessions/<id>/park`` — flushes, then parks the session's
+  bit-exact state to the shared lot; the next frame resumes it.
+
+Bit-identity survives the wire: frames cross as lossless float64 npz
+bundles, and results cross as JSON whose floats round-trip exactly
+(Python serializes floats via ``repr``, which is shortest-round-trip),
+so a trajectory fetched over HTTP is bit-identical to one computed
+in-process — ``tests/test_serve.py`` asserts it.
+
+:class:`SlamClient` is the matching stdlib client
+(:mod:`urllib.request`), used by the example and the tests.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.datasets.sequences import RGBDFrame
+from repro.errors import ReproError
+from repro.gaussians.camera import Pose
+from repro.perf import PerfRecorder
+from repro.serve.ingest import AsyncSessionHandle, IngestPool
+from repro.serve.shard import ShardedRegistry, shard_index
+from repro.slam.results import SlamResult
+
+__all__ = [
+    "SlamClient",
+    "SlamServer",
+    "decode_frame",
+    "default_session_factory",
+    "encode_frame",
+    "result_to_payload",
+]
+
+_POSE_KEY = "gt_pose"
+
+
+# ---------------------------------------------------------------------------
+# Wire codecs
+# ---------------------------------------------------------------------------
+def encode_frame(frame: RGBDFrame) -> bytes:
+    """Pack one RGB-D frame as a lossless npz payload."""
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        color=frame.color,
+        depth=frame.depth,
+        index=np.int64(frame.index),
+        timestamp=np.float64(frame.timestamp),
+        **{_POSE_KEY: frame.gt_pose.as_vector()},
+    )
+    return buffer.getvalue()
+
+
+def decode_frame(data: bytes) -> RGBDFrame:
+    """Inverse of :func:`encode_frame` (bit-exact round trip)."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
+        return RGBDFrame(
+            index=int(bundle["index"]),
+            color=bundle["color"],
+            depth=bundle["depth"],
+            gt_pose=Pose.from_vector(bundle[_POSE_KEY]),
+            timestamp=float(bundle["timestamp"]),
+        )
+
+
+def result_to_payload(result: SlamResult) -> dict:
+    """A ``SlamResult`` as a JSON-able dict (floats round-trip exactly).
+
+    Carries the trajectory and the per-frame scalar outcomes; the final
+    Gaussian map and workload traces stay server-side (fetch a parked
+    checkpoint for those).
+    """
+    frames = []
+    for frame in result.frames:
+        frames.append(
+            {
+                "frame_index": frame.frame_index,
+                "estimated_pose": frame.estimated_pose.as_vector().tolist(),
+                "tracking_iterations": frame.tracking_iterations,
+                "mapping_iterations": frame.mapping_iterations,
+                "tracking_loss": frame.tracking_loss,
+                "mapping_loss": frame.mapping_loss,
+                "used_coarse_only": frame.used_coarse_only,
+                "is_keyframe": frame.is_keyframe,
+                "covisibility": frame.covisibility,
+                "num_gaussians": frame.num_gaussians,
+                "gaussians_skipped": frame.gaussians_skipped,
+                "degraded": frame.degraded,
+                "fallbacks_used": frame.fallbacks_used,
+                "relocalized": frame.relocalized,
+            }
+        )
+    return {
+        "algorithm": result.algorithm,
+        "sequence": result.sequence,
+        "num_frames": len(result.frames),
+        "frames": frames,
+    }
+
+
+def default_session_factory(spec: dict):
+    """Build a zero-arg session factory from a ``POST /sessions`` spec.
+
+    ``spec`` must name the ``algorithm`` and the camera geometry
+    (``width``, ``height``, optional ``fov_x_deg``); every remaining key
+    is forwarded to :func:`repro.eval.service.build_session` (iteration
+    budgets, AGS knobs, execution mode, ...).  Imported lazily: the
+    service layer itself depends on :mod:`repro.serve.registry`.
+    """
+    from repro.eval.service import build_session
+    from repro.gaussians.camera import Intrinsics
+
+    spec = dict(spec)
+    spec.pop("session_id", None)
+    try:
+        algorithm = spec.pop("algorithm")
+        width = int(spec.pop("width"))
+        height = int(spec.pop("height"))
+    except KeyError as exc:
+        raise ValueError(f"session spec is missing {exc.args[0]!r}") from None
+    fov_x_deg = float(spec.pop("fov_x_deg", 75.0))
+    intrinsics = Intrinsics.from_fov(width, height, fov_x_deg)
+    return lambda: build_session(algorithm, intrinsics, **spec)
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+class SlamServer:
+    """The serving frontend: HTTP ingestion over a sharded registry.
+
+    Args:
+        registry: shard set to serve (``None`` builds one from
+            ``num_shards`` / ``max_live`` / ``park_root`` and owns it).
+        host, port: bind address (port 0 picks a free port; see
+            :attr:`address` after :meth:`start`).
+        session_factory: maps a ``POST /sessions`` JSON spec to a
+            zero-arg session factory (default
+            :func:`default_session_factory`).
+        queue_depth / retry / watchdog_timeout: per-session
+            :class:`AsyncSessionHandle` knobs.
+        pool_workers: drain workers shared by all sessions.
+    """
+
+    def __init__(
+        self,
+        registry: ShardedRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_shards: int = 2,
+        max_live: int = 8,
+        park_root=None,
+        session_factory=default_session_factory,
+        queue_depth: int = 8,
+        retry=None,
+        watchdog_timeout: float | None = None,
+        pool_workers: int = 4,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        self._own_registry = registry is None
+        self.registry = registry or ShardedRegistry(
+            num_shards=num_shards, max_live=max_live, park_root=park_root, perf=perf
+        )
+        self.session_factory = session_factory
+        self.queue_depth = queue_depth
+        self.retry = retry
+        self.watchdog_timeout = watchdog_timeout
+        self.perf = perf
+        self.pool = IngestPool(workers=pool_workers)
+        self._handles: dict[str, AsyncSessionHandle] = {}
+        self._handles_lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> str:
+        """Serve on a background thread; returns the base URL."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="slam-server", daemon=True
+            )
+            self._thread.start()
+        return self.address
+
+    def stop(self, park_live: bool = False) -> None:
+        """Stop serving and release every session (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        self.pool.shutdown()
+        if self._own_registry:
+            self.registry.shutdown(park_live=park_live)
+
+    def __enter__(self) -> "SlamServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from server threads)
+    # ------------------------------------------------------------------
+    def _handle(self, session_id: str) -> AsyncSessionHandle:
+        with self._handles_lock:
+            handle = self._handles.get(session_id)
+            if handle is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            return handle
+
+    def create_session(self, spec: dict) -> dict:
+        session_id = spec.get("session_id")
+        if not session_id or not isinstance(session_id, str):
+            raise ValueError("session spec needs a non-empty string 'session_id'")
+        factory = self.session_factory(spec)
+        opened = self.registry.open(session_id, factory, sequence_name=session_id)
+        with self._handles_lock:
+            if session_id not in self._handles:
+                self._handles[session_id] = AsyncSessionHandle(
+                    self.registry,
+                    session_id,
+                    pool=self.pool,
+                    queue_depth=self.queue_depth,
+                    retry=self.retry,
+                    watchdog_timeout=self.watchdog_timeout,
+                    perf=self.perf,
+                )
+        return {
+            "session_id": session_id,
+            "shard": shard_index(session_id, self.registry.num_shards),
+            "created": opened.created,
+            "resumed": opened.resumed,
+        }
+
+    def ingest_frame(self, session_id: str, body: bytes) -> dict:
+        index = self._handle(session_id).submit(decode_frame(body))
+        return {"session_id": session_id, "index": index}
+
+    def session_result(self, session_id: str) -> dict:
+        return result_to_payload(self._handle(session_id).result())
+
+    def park_session(self, session_id: str) -> dict:
+        path = self._handle(session_id).park()
+        return {"session_id": session_id, "parked": True, "generation": path.name}
+
+
+def _make_handler(server: SlamServer):
+    """Bind a ``BaseHTTPRequestHandler`` subclass to one server."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # HTTP access logs stay out of test/bench output
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length") or 0)
+            return self.rfile.read(length) if length else b""
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                parts = [p for p in self.path.split("/") if p]
+                if parts and parts[0] == "sessions":
+                    if method == "POST" and len(parts) == 1:
+                        spec = json.loads(self._read_body().decode("utf-8"))
+                        return self._reply(200, server.create_session(spec))
+                    if len(parts) == 3:
+                        session_id, action = parts[1], parts[2]
+                        if method == "POST" and action == "frames":
+                            return self._reply(
+                                200, server.ingest_frame(session_id, self._read_body())
+                            )
+                        if method == "GET" and action == "result":
+                            return self._reply(200, server.session_result(session_id))
+                        if method == "POST" and action == "park":
+                            return self._reply(200, server.park_session(session_id))
+                return self._reply(
+                    404, {"error": f"no route {method} {self.path}"}
+                )
+            except KeyError as exc:
+                return self._reply(404, {"error": str(exc)})
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._reply(400, {"error": str(exc)})
+            except ReproError as exc:
+                return self._reply(
+                    500, {"error": str(exc), "kind": type(exc).__name__}
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("POST")
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("GET")
+
+    return _Handler
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+class SlamClient:
+    """Minimal stdlib client for :class:`SlamServer` (urllib-based)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: bytes | None, content_type: str) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise RuntimeError(f"{method} {path} -> {exc.code}: {detail}") from None
+
+    def create_session(self, session_id: str, algorithm: str, width: int, height: int, **spec) -> dict:
+        """``POST /sessions`` — open (or resume) a session."""
+        payload = dict(
+            session_id=session_id, algorithm=algorithm, width=width, height=height, **spec
+        )
+        return self._request(
+            "POST", "/sessions", json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def post_frame(self, session_id: str, frame: RGBDFrame) -> dict:
+        """``POST /sessions/<id>/frames`` — enqueue one frame."""
+        return self._request(
+            "POST",
+            f"/sessions/{session_id}/frames",
+            encode_frame(frame),
+            "application/x-npz",
+        )
+
+    def result(self, session_id: str) -> dict:
+        """``GET /sessions/<id>/result`` — flush and fetch the result."""
+        return self._request("GET", f"/sessions/{session_id}/result", None, "")
+
+    def park(self, session_id: str) -> dict:
+        """``POST /sessions/<id>/park`` — flush and park the session."""
+        return self._request("POST", f"/sessions/{session_id}/park", b"", "application/json")

@@ -1,0 +1,322 @@
+"""Asynchronous frame ingestion: producers never block on mapping.
+
+:class:`AsyncSessionHandle` is the serving tier's producer-facing wrapper
+around one registered session.  ``submit(frame)`` enqueues the frame on
+the session's pending queue (:meth:`SessionRunner.feed_nowait`) and
+returns immediately; a worker from the shared :class:`IngestPool` drains
+the queue in arrival order through the ordinary ``feed`` path, which is
+what makes asynchronous ingestion *bit-identical* to synchronous feeding
+by construction (property-tested per system in ``tests/test_serve.py``).
+
+The handle reuses the ``_TwoStagePipeline`` conventions from
+:mod:`repro.slam.session`:
+
+* **bounded queue** — at most ``queue_depth`` frames may be in flight
+  per session; a ``submit`` beyond the bound blocks the producer
+  (back-pressure), counted once per blocking episode as
+  ``serve.backpressure_waits``.  The high-water mark of in-flight frames
+  is surfaced as ``serve.queue_depth``.
+* **watchdog** — with ``watchdog_timeout`` set, a blocked ``submit`` or
+  ``flush`` that sees no drain progress for that many seconds raises
+  :class:`StageTimeoutError` (a ``TransientError``) instead of hanging,
+  counted as ``session.watchdog_timeouts``.
+* **frame-granular retry** — with a retry policy armed, a
+  :class:`TransientError` raised while draining (injected stage fault,
+  flaky source, watchdog timeout) rolls the session back to the
+  snapshot taken just before the failed frame (``restore(...,
+  preserve_pending=True)`` keeps the queue) and re-feeds it after the
+  policy's backoff.  A ``_map``-stage fault fires *after* ``_track``
+  already mutated tracking state, so a naive re-``feed`` would run the
+  frame's tracking twice — the snapshot/rollback is what keeps retried
+  ingestion bit-identical to a fault-free run.
+
+All counters land on the handle's perf recorder and are surfaced by
+:mod:`repro.perf.report` (explicit zeros when serving never ran).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+
+from repro.errors import FatalError, StageTimeoutError, TransientError
+from repro.perf import PerfRecorder, global_recorder
+from repro.serve.registry import SessionRegistry
+
+__all__ = ["AsyncSessionHandle", "IngestPool"]
+
+
+class IngestPool:
+    """A shared pool of drain workers for asynchronous ingestion.
+
+    One pool serves many :class:`AsyncSessionHandle`\\ s: each handle
+    schedules at most one drain job at a time, so ``workers`` bounds how
+    many *sessions* make mapping progress concurrently, never how many
+    frames one session processes in parallel (per-session processing is
+    strictly in order).
+    """
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve-ingest"
+        )
+
+    def submit(self, fn, *args) -> concurrent.futures.Future:
+        """Schedule one drain job on the pool."""
+        return self._executor.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool (idempotent); pending drain jobs finish first."""
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "IngestPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class AsyncSessionHandle:
+    """Producer-facing asynchronous handle for one registered session.
+
+    Args:
+        registry: the :class:`SessionRegistry` owning the session.
+        session_id: id previously registered with ``registry.open``.
+        pool: shared :class:`IngestPool` draining the queue.  ``None``
+            creates a private single-worker pool owned (and shut down)
+            by this handle.
+        queue_depth: bound on in-flight (submitted, not yet processed)
+            frames; ``submit`` beyond it blocks the producer.
+        retry: optional policy with ``max_retries`` and ``delay(attempt)``
+            (:class:`repro.eval.service.RetryPolicy` fits) arming
+            frame-granular retry of :class:`TransientError` drain
+            failures.  ``None`` propagates the first failure.
+        watchdog_timeout: no-progress bound for blocked ``submit`` /
+            ``flush`` waits (None disables, matching the pipeline).
+        perf: recorder for the serving counters (default process-wide).
+        on_result: optional callback invoked with each
+            :class:`FrameResult` as its frame completes, on the drain
+            worker (the benchmark's ingest-latency probe).
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        session_id: str,
+        pool: IngestPool | None = None,
+        queue_depth: int = 8,
+        retry=None,
+        watchdog_timeout: float | None = None,
+        perf: PerfRecorder | None = None,
+        on_result=None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive (or None to disable)")
+        self.registry = registry
+        self.session_id = session_id
+        self._own_pool = pool is None
+        self.pool = pool or IngestPool(workers=1)
+        self.queue_depth = queue_depth
+        self.retry = retry
+        self.watchdog_timeout = watchdog_timeout
+        self.perf = perf or global_recorder()
+        self.on_result = on_result
+        self._cond = threading.Condition()
+        self._enqueued = 0
+        self._processed = 0
+        self._depth_high_water = 0
+        self._drain_scheduled = False
+        self._error: BaseException | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Frames submitted but not yet processed."""
+        with self._cond:
+            return self._enqueued - self._processed
+
+    def submit(self, frame) -> int:
+        """Enqueue one frame for asynchronous processing; return its index.
+
+        Returns as soon as the frame is queued — tracking and mapping run
+        on the ingest pool.  Blocks only for back-pressure (the bounded
+        queue is full) or a failed session (the drain error re-raises
+        here).  Frames are processed strictly in submission order.
+        """
+        with self._cond:
+            self._raise_error()
+            if self._closed:
+                raise RuntimeError(f"handle for session {self.session_id!r} is closed")
+            if self._enqueued - self._processed >= self.queue_depth:
+                self.perf.count("serve.backpressure_waits")
+                self._wait_for_progress(
+                    lambda: self._enqueued - self._processed < self.queue_depth,
+                    "the ingestion queue full",
+                )
+            with self.registry.checkout(self.session_id) as session:
+                index = session.feed_nowait(frame)
+            self._enqueued += 1
+            depth = self._enqueued - self._processed
+            if depth > self._depth_high_water:
+                self.perf.count("serve.queue_depth", depth - self._depth_high_water)
+                self._depth_high_water = depth
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.pool.submit(self._drain)
+        return index
+
+    def flush(self) -> None:
+        """Block until every submitted frame has been processed.
+
+        Re-raises the first drain failure, if any (after which the
+        unprocessed frames stay queued on the session).
+        """
+        with self._cond:
+            self._wait_for_progress(
+                lambda: self._enqueued - self._processed == 0,
+                "frames still queued",
+            )
+
+    def result(self):
+        """Flush, then return the session's finalized ``SlamResult``."""
+        self.flush()
+        return self.registry.result(self.session_id)
+
+    def park(self):
+        """Flush, then park the session to the registry's lot."""
+        self.flush()
+        return self.registry.park(self.session_id)
+
+    def close(self) -> None:
+        """Flush and detach (shuts the pool down if the handle owns it)."""
+        try:
+            self.flush()
+        finally:
+            with self._cond:
+                self._closed = True
+            if self._own_pool:
+                self.pool.shutdown()
+
+    def __enter__(self) -> "AsyncSessionHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Waiting (condition held)
+    # ------------------------------------------------------------------
+    def _raise_error(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    def _wait_for_progress(self, done, what: str) -> None:
+        """Wait until ``done()``; watchdog no-progress raises (cond held)."""
+        while not done():
+            self._raise_error()
+            before = self._processed
+            signalled = self._cond.wait(self.watchdog_timeout)
+            self._raise_error()
+            if (
+                self.watchdog_timeout is not None
+                and not signalled
+                and self._processed == before
+            ):
+                self.perf.count("session.watchdog_timeouts")
+                raise StageTimeoutError(
+                    f"ingestion of session {self.session_id!r} made no progress "
+                    f"for {self.watchdog_timeout:g}s with {what}"
+                )
+
+    # ------------------------------------------------------------------
+    # Drain worker (ingest pool)
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Process queued frames until none remain (one worker at a time).
+
+        The ``_drain_scheduled`` flag guarantees a single live drain job
+        per handle; the exit check under the condition closes the race
+        with a concurrent ``submit`` (either the drain sees the new frame
+        and continues, or the submit sees the cleared flag and schedules
+        a fresh job — a queued frame is never left without a drainer).
+        """
+        try:
+            while True:
+                with self._cond:
+                    if self._enqueued - self._processed == 0:
+                        self._drain_scheduled = False
+                        self._cond.notify_all()
+                        return
+                done = self._drain_batch()
+                with self._cond:
+                    self._processed += done
+                    if done == 0 and self._enqueued - self._processed > 0:
+                        # Queued frames vanished without this worker
+                        # processing them: something drained the session
+                        # behind the handle's back (e.g. a direct
+                        # registry.park on a session with in-flight
+                        # frames).  Fail loudly instead of spinning on a
+                        # queue that can never empty.
+                        raise RuntimeError(
+                            f"session {self.session_id!r} was drained outside "
+                            f"its AsyncSessionHandle"
+                        )
+                    self._cond.notify_all()
+        except BaseException as exc:
+            with self._cond:
+                self._error = exc
+                self._drain_scheduled = False
+                self._cond.notify_all()
+
+    def _drain_batch(self) -> int:
+        """Drain the session's queue once (with retry when armed)."""
+        with self.registry.checkout(self.session_id) as session:
+            if self.retry is None:
+                results = session.drain_pending()
+            else:
+                results = self._drain_with_retry(session)
+        if self.on_result is not None:
+            for frame_result in results:
+                self.on_result(frame_result)
+        return len(results)
+
+    def _drain_with_retry(self, session) -> list:
+        """Frame-granular transient retry (session checked out, pinned).
+
+        Before each frame a bit-exact snapshot is taken; a
+        :class:`TransientError` rolls the session back to it — keeping
+        the queue, whose head is the failed frame ``drain_pending``
+        pushed back — and re-feeds after the policy's backoff.  This is
+        what makes retried ingestion bit-identical to a fault-free run: a
+        ``_map`` fault fires after ``_track`` already advanced its state,
+        so replaying the frame without the rollback would track it twice.
+        Exhausting the budget raises :class:`FatalError` carrying the
+        last transient cause (the service's taxonomy).
+        """
+        results: list = []
+        attempt = 0
+        while session.pending_count > 0:
+            snapshot = session.state()
+            try:
+                results.extend(session.drain_pending(max_frames=1))
+                attempt = 0
+            except TransientError as exc:
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    raise FatalError(
+                        f"frame {session.next_frame_index} of session "
+                        f"{self.session_id!r} failed after "
+                        f"{self.retry.max_retries} retries"
+                    ) from exc
+                session.restore(snapshot, preserve_pending=True)
+                time.sleep(self.retry.delay(attempt))
+        return results

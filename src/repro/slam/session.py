@@ -46,6 +46,7 @@ overlaps mapping.  The stage invocations are timed under
 
 from __future__ import annotations
 
+import collections
 import copy
 import dataclasses
 import json
@@ -344,6 +345,15 @@ class SessionRunner:
         self._session_trace: SequenceTrace | None = None
         self._next_index = 0
         self._pipeline: _TwoStagePipeline | None = None
+        # Deferred-ingestion seam (repro.serve): frames queued by
+        # feed_nowait, consumed in order by drain_pending.  The lock only
+        # guards the deque — producers may enqueue while one drainer
+        # processes, which is what lets an ingestion worker overlap
+        # mapping with frame arrival.
+        self._pending: collections.deque = collections.deque()
+        self._pending_lock = threading.Lock()
+        self._ingress_index = 0
+        self._drain_active = False
 
     # ------------------------------------------------------------------
     # Hooks implemented by the systems
@@ -398,6 +408,9 @@ class SessionRunner:
         self.reset()
         self._session_sequence = sequence_name
         self._next_index = 0
+        with self._pending_lock:
+            self._pending.clear()
+            self._ingress_index = 0
         self._session_result = SlamResult(algorithm=self.algorithm, sequence=sequence_name)
         self._session_trace = self._new_trace() if self.collect_trace else None
 
@@ -422,12 +435,82 @@ class SessionRunner:
             raise ValueError(
                 f"out-of-order frame: got index {index}, expected {self._next_index}"
             )
+        if self._pending and not self._drain_active:
+            raise RuntimeError(
+                f"{self.pending_count} queued frame(s) pending: a direct feed() would "
+                "jump the ingestion queue — call drain_pending() first"
+            )
         frame_result, frame_trace = self._step(self._next_index, frame)
         self._session_result.frames.append(frame_result)
         if self._session_trace is not None and frame_trace is not None:
             self._session_trace.frames.append(frame_trace)
         self._next_index += 1
+        with self._pending_lock:
+            self._ingress_index = self._next_index + len(self._pending)
         return frame_result
+
+    # ------------------------------------------------------------------
+    # Deferred ingestion: the async-serving seam (repro.serve.ingest)
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Frames queued by :meth:`feed_nowait` and not yet drained."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    def feed_nowait(self, frame, index: int | None = None) -> int:
+        """Queue one frame for deferred processing; return its index.
+
+        The producer-side half of asynchronous ingestion: the frame is
+        appended to the session's pending queue without running any
+        tracking or mapping work, so the caller never blocks on the
+        mapping stage.  A later :meth:`drain_pending` (typically on an
+        ingestion worker) processes queued frames strictly in arrival
+        order through the ordinary :meth:`feed` path, which is what makes
+        queued ingestion bit-identical to synchronous feeding by
+        construction.  ``index``, when given, asserts the producer and
+        the session agree on the frame's position (queued frames count).
+
+        Thread-safe against one concurrent drainer; multiple producers
+        must serialize among themselves to keep arrival order defined.
+        """
+        if self._session_result is None:
+            self.begin()
+        with self._pending_lock:
+            expected = self._ingress_index
+            if index is not None and index != expected:
+                raise ValueError(
+                    f"out-of-order frame: got index {index}, expected {expected}"
+                )
+            self._pending.append(frame)
+            self._ingress_index = expected + 1
+        return expected
+
+    def drain_pending(self, max_frames: int | None = None) -> list[FrameResult]:
+        """Process queued frames in order; return their results.
+
+        At most one drainer may run at a time (the serving tier's
+        per-session ingestion worker enforces this).  If a frame's feed
+        raises, the frame is pushed back to the queue head before the
+        exception propagates, so a retrying drainer resumes at exactly
+        the failed frame.
+        """
+        results: list[FrameResult] = []
+        while max_frames is None or len(results) < max_frames:
+            with self._pending_lock:
+                if not self._pending:
+                    break
+                frame = self._pending.popleft()
+            self._drain_active = True
+            try:
+                results.append(self.feed(frame))
+            except BaseException:
+                with self._pending_lock:
+                    self._pending.appendleft(frame)
+                raise
+            finally:
+                self._drain_active = False
+        return results
 
     def finalize(self) -> SlamResult:
         """Assemble the :class:`SlamResult` accumulated so far.
@@ -591,7 +674,11 @@ class SessionRunner:
         """Snapshot the session so it can be resumed later (or elsewhere).
 
         The snapshot owns copies of everything mutable, so continuing the
-        live session does not invalidate it.
+        live session does not invalidate it.  Frames queued by
+        :meth:`feed_nowait` but not yet drained are in-flight *input*,
+        not session state — they are excluded; a parking layer that must
+        not drop them (:class:`repro.serve.registry.SessionRegistry`)
+        drains the queue before snapshotting.
         """
         if self._session_result is None:
             raise RuntimeError("no active session: call begin() or feed() first")
@@ -608,7 +695,7 @@ class SessionRunner:
             payload=self._state_payload(),
         )
 
-    def restore(self, state: SessionState) -> None:
+    def restore(self, state: SessionState, preserve_pending: bool = False) -> None:
         """Resume from a checkpoint taken by :meth:`state`.
 
         The receiving system must be configured identically to the one
@@ -620,6 +707,14 @@ class SessionRunner:
         accumulators become exactly the snapshot's copies — restoring
         into a non-fresh session must never duplicate or interleave
         history.
+
+        ``preserve_pending=True`` keeps frames queued by
+        :meth:`feed_nowait` across the restore — valid only when the
+        snapshot comes from this same session at its current stream
+        position (the ingestion worker's frame-granular retry: roll the
+        processed state back to just before the failed frame while the
+        failed frame and its successors stay queued).  The default
+        clears the queue, as a resume into a fresh stream position must.
         """
         if state.algorithm != self.algorithm:
             raise ValueError(
@@ -641,6 +736,10 @@ class SessionRunner:
         else:
             self._session_trace = None
         self._next_index = state.next_index
+        with self._pending_lock:
+            if not preserve_pending:
+                self._pending.clear()
+            self._ingress_index = state.next_index + len(self._pending)
         # No defensive copy of the payload here: every restorer (model /
         # pose unpackers, component load_state_dicts) copies the arrays it
         # ingests, so the checkpoint stays reusable without paying for the

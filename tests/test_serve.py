@@ -1,0 +1,475 @@
+"""The serving tier: registry parking, async ingestion, shards, HTTP.
+
+The headline invariants of the SLAM-as-a-service stack:
+
+1. **Park/resume bit-identity** — a session evicted (parked) from one
+   registry and resumed on a *different* registry/shard instance
+   produces results bit-identical to the uninterrupted run, for all
+   five systems — including under an adversarial stream scenario and a
+   transient fault plan with frame-granular retry.
+2. **Async == sync** — frames queued through ``feed_nowait`` + the
+   ingest worker pool yield results bit-identical to synchronous
+   ``feed``, for all five systems.
+3. **Deterministic routing** — session-id sharding is a pure CRC-32
+   function, stable across processes (pinned assignments).
+4. **Wire fidelity** — a trajectory fetched over the stdlib HTTP API is
+   bit-identical to one computed in-process (npz frames in, JSON
+   results out).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_sequence
+from repro.datasets.scenarios import apply_scenario
+from repro.errors import CheckpointCorruptError, TransientError
+from repro.eval.service import RetryPolicy, build_session
+from repro.faults import FaultInjector, get_fault_plan
+from repro.perf import PerfRecorder, build_report
+from repro.serve import (
+    AsyncSessionHandle,
+    IngestPool,
+    LruMap,
+    ParkingLot,
+    SessionRegistry,
+    ShardedRegistry,
+    SlamClient,
+    SlamServer,
+    shard_index,
+)
+from repro.slam import OrbLiteSlam
+
+CHEAP = dict(tracking_iterations=4, mapping_iterations=2)
+SYSTEMS = ("splatam", "gaussian-slam", "orb", "droid", "ags")
+NUM_FRAMES = 6
+
+
+def _trajectory(result) -> np.ndarray:
+    return np.array([f.estimated_pose.as_matrix() for f in result.frames])
+
+
+def assert_results_identical(a, b):
+    """Bit-identity over everything a parked/resumed run must reproduce."""
+    assert len(a.frames) == len(b.frames)
+    assert np.array_equal(_trajectory(a), _trajectory(b))
+    for fa, fb in zip(a.frames, b.frames):
+        assert fa.frame_index == fb.frame_index
+        assert fa.tracking_loss == fb.tracking_loss
+        assert fa.mapping_loss == fb.mapping_loss
+        assert fa.is_keyframe == fb.is_keyframe
+        assert fa.num_gaussians == fb.num_gaussians
+
+
+def _factory(algorithm, intrinsics, **overrides):
+    params = dict(CHEAP)
+    params.update(overrides)
+    return functools.partial(build_session, algorithm, intrinsics, **params)
+
+
+# ---------------------------------------------------------------------------
+# LruMap
+# ---------------------------------------------------------------------------
+def test_lru_map_evicts_least_recently_used():
+    evicted = []
+    lru = LruMap(2, on_evict=lambda k, v: evicted.append(k))
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1  # touch: "b" becomes LRU
+    lru.put("c", 3)
+    assert evicted == ["b"]
+    assert lru.keys() == ["a", "c"]
+
+
+def test_lru_map_pop_and_trim():
+    evicted = []
+    lru = LruMap(4, on_evict=lambda k, v: evicted.append(k))
+    for key in "abcd":
+        lru.put(key, key)
+    assert lru.pop("b") == "b" and evicted == []  # pop never fires on_evict
+    assert lru.trim(1) == 2
+    assert evicted == ["a", "c"] and lru.keys() == ["d"]
+    with pytest.raises(ValueError):
+        LruMap(0)
+
+
+# ---------------------------------------------------------------------------
+# ParkingLot
+# ---------------------------------------------------------------------------
+def test_parking_lot_generations_and_gc(tmp_path, tiny_sequence):
+    lot = ParkingLot(tmp_path)
+    system = OrbLiteSlam(tiny_sequence.intrinsics)
+    system.begin(tiny_sequence.name)
+    system.feed(tiny_sequence[0], index=0)
+    first = lot.park("cam", system.state())
+    system.feed(tiny_sequence[1], index=1)
+    second = lot.park("cam", system.state())
+    assert [p.name for p in lot.generations("cam")] == ["gen-00000", "gen-00001"]
+    assert first.name == "gen-00000" and second.name == "gen-00001"
+
+    state = lot.resume("cam")
+    assert state.next_index == 2  # newest generation wins
+    assert not lot.has("cam")  # resume GCs the parking by default
+    with pytest.raises(KeyError):
+        lot.resume("cam")
+
+
+def test_parking_lot_skips_corrupt_newest_generation(tmp_path, tiny_sequence):
+    lot = ParkingLot(tmp_path, keep_parked=True)
+    system = OrbLiteSlam(tiny_sequence.intrinsics)
+    system.begin(tiny_sequence.name)
+    system.feed(tiny_sequence[0], index=0)
+    lot.park("cam", system.state())
+    system.feed(tiny_sequence[1], index=1)
+    newest = lot.park("cam", system.state())
+    (newest / "state.npz").write_bytes(b"torn")
+    assert lot.resume("cam").next_index == 1  # fell back to gen-00000
+    (lot.generations("cam")[0] / "state.npz").write_bytes(b"torn")
+    with pytest.raises(CheckpointCorruptError, match="every parked generation"):
+        lot.resume("cam")
+
+
+def test_parking_lot_rejects_path_escaping_names(tmp_path):
+    lot = ParkingLot(tmp_path)
+    for name in ("", "a/b", "../up", ".hidden"):
+        with pytest.raises(ValueError, match="invalid parking name"):
+            lot.has(name)
+
+
+# ---------------------------------------------------------------------------
+# Session-level ingestion seam
+# ---------------------------------------------------------------------------
+def test_feed_nowait_queues_and_drain_preserves_order(tiny_sequence):
+    system = OrbLiteSlam(tiny_sequence.intrinsics)
+    system.begin(tiny_sequence.name)
+    assert system.feed_nowait(tiny_sequence[0], index=0) == 0
+    assert system.feed_nowait(tiny_sequence[1]) == 1  # queued frames count
+    assert system.pending_count == 2
+    with pytest.raises(RuntimeError, match="queued frame"):
+        system.feed(tiny_sequence[0])  # a direct feed would jump the queue
+    results = system.drain_pending()
+    assert [r.frame_index for r in results] == [0, 1]
+    assert system.pending_count == 0
+
+    reference = OrbLiteSlam(tiny_sequence.intrinsics)
+    reference.begin(tiny_sequence.name)
+    queued = [reference.feed(tiny_sequence[i], index=i) for i in range(2)]
+    assert np.array_equal(
+        results[1].estimated_pose.as_vector(), queued[1].estimated_pose.as_vector()
+    )
+
+
+def test_state_excludes_pending_frames(tiny_sequence):
+    system = OrbLiteSlam(tiny_sequence.intrinsics)
+    system.feed(tiny_sequence[0], index=0)
+    system.feed_nowait(tiny_sequence[1])
+    state = system.state()
+    assert state.next_index == 1  # the queued frame is input, not state
+    system.restore(state)
+    assert system.pending_count == 0  # a plain restore clears the queue
+
+
+# ---------------------------------------------------------------------------
+# SessionRegistry: LRU bounds, pinning, races
+# ---------------------------------------------------------------------------
+def test_registry_parks_lru_session_beyond_budget(tiny_sequence):
+    perf = PerfRecorder()
+    registry = SessionRegistry(max_live=2, perf=perf)
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    for sid in ("a", "b", "c"):
+        registry.open(sid, factory)
+    assert registry.live_count == 2
+    assert registry.parked_ids() == ["a"]  # least-recently touched
+    assert registry.live_ids() == ["b", "c"]
+    assert perf.counters.as_dict()["serve.sessions_parked"] == 1
+    registry.open("a", factory)  # transparent resume re-parks "b"
+    assert registry.parked_ids() == ["b"]
+    assert perf.counters.as_dict()["serve.sessions_resumed"] == 1
+    registry.shutdown()
+
+
+def test_registry_checkout_pins_against_eviction(tiny_sequence):
+    registry = SessionRegistry(max_live=1)
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    registry.open("pinned", factory)
+    with registry.checkout("pinned"):
+        registry.open("other", factory)
+        # Both live: the pinned session cannot be parked (soft bound).
+        assert set(registry.live_ids()) == {"pinned", "other"}
+        with pytest.raises(ValueError, match="checked out"):
+            registry.park("pinned")
+    # Pin released: eviction resumes; the LRU entry ("other") parks.
+    assert registry.live_count == 1
+    assert registry.parked_ids() == ["other"]
+    registry.shutdown()
+
+
+def test_registry_park_drains_queued_frames_first(tiny_sequence):
+    registry = SessionRegistry(max_live=4)
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    session = registry.open("cam", factory, sequence_name=tiny_sequence.name).session
+    session.feed(tiny_sequence[0], index=0)
+    session.feed_nowait(tiny_sequence[1])
+    registry.park("cam")  # must not drop the queued in-flight frame
+    with registry.checkout("cam") as resumed:
+        assert resumed.next_frame_index == 2
+    registry.shutdown()
+
+
+def test_registry_concurrent_touch_evict_hammer(tiny_sequence):
+    """Eviction racing checkout across threads never corrupts a stream."""
+    registry = SessionRegistry(max_live=2)
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    ids = [f"cam-{i}" for i in range(6)]
+    for sid in ids:
+        registry.open(sid, factory, sequence_name=tiny_sequence.name)
+    errors = []
+
+    def stream(sid: str) -> None:
+        try:
+            for index in range(4):
+                with registry.checkout(sid) as session:
+                    session.feed(tiny_sequence[index], index=index)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append((sid, exc))
+
+    threads = [threading.Thread(target=stream, args=(sid,)) for sid in ids]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert registry.live_count <= 2
+    reference = build_session("orb", tiny_sequence.intrinsics, **CHEAP).run(
+        tiny_sequence, num_frames=4
+    )
+    for sid in ids:
+        assert_results_identical(reference, registry.result(sid))
+    assert registry.stats()["parks"] >= 4  # budget 2, six streams: real churn
+    registry.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Park/resume bit-identity matrix (cross-registry == cross-shard)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", SYSTEMS)
+@pytest.mark.parametrize("execution", ["sequential", "pipelined"])
+def test_cross_registry_park_resume_is_bit_identical(
+    tmp_path, tiny_sequence, algorithm, execution
+):
+    factory = _factory(algorithm, tiny_sequence.intrinsics, execution=execution)
+    first = SessionRegistry(max_live=2, park_root=tmp_path / "lot")
+    session = first.open(
+        algorithm, factory, sequence_name=tiny_sequence.name
+    ).session
+    for index in range(3):
+        session.feed(tiny_sequence[index], index=index)
+    first.park(algorithm)
+    first.shutdown()
+
+    # A different registry instance sharing the lot — another shard, or
+    # another process after a redeploy — resumes transparently.
+    second = SessionRegistry(max_live=2, park_root=tmp_path / "lot")
+    opened = second.open(algorithm, factory, sequence_name=tiny_sequence.name)
+    assert opened.resumed and not opened.created
+    for index in range(3, NUM_FRAMES):
+        opened.session.feed(tiny_sequence[index], index=index)
+    resumed_result = second.result(algorithm)
+
+    reference = factory().run(tiny_sequence, num_frames=NUM_FRAMES)
+    assert_results_identical(reference, resumed_result)
+    second.shutdown()
+
+
+@pytest.mark.parametrize("algorithm", SYSTEMS)
+def test_park_resume_under_scenario_and_faults_is_bit_identical(
+    tmp_path, algorithm
+):
+    """Scenario stream + chaos fault plan + retry + cross-shard park/resume."""
+    base = load_sequence("desk", num_frames=NUM_FRAMES)
+    stream = apply_scenario(base, "burst")
+    reference = _factory(algorithm, base.intrinsics)().run(
+        stream, num_frames=NUM_FRAMES
+    )
+
+    injector = FaultInjector(get_fault_plan("chaos"))
+    flaky = injector.wrap_source(stream)
+
+    def factory():
+        system = _factory(algorithm, base.intrinsics)()
+        injector.arm(system, NUM_FRAMES)  # shared fire budget across resumes
+        return system
+
+    def read_frame(index):
+        for _ in range(1 + RetryPolicy().max_retries):
+            try:
+                return flaky[index]
+            except TransientError:
+                continue
+        raise AssertionError("source retries exhausted")
+
+    def run_half(registry, sid, start, stop):
+        handle = AsyncSessionHandle(
+            registry, sid, queue_depth=2, retry=RetryPolicy(backoff=0.0)
+        )
+        for index in range(start, stop):
+            handle.submit(read_frame(index))
+        handle.flush()
+        return handle
+
+    shards = [
+        SessionRegistry(max_live=1, park_root=tmp_path / "lot") for _ in range(2)
+    ]
+    shards[0].open("cam", factory, sequence_name=stream.name)
+    first_half = run_half(shards[0], "cam", 0, 3)
+    first_half.park()
+    first_half.close()
+    shards[0].shutdown()
+    shards[1].open("cam", factory, sequence_name=stream.name)
+    handle = run_half(shards[1], "cam", 3, NUM_FRAMES)
+    served = handle.result()
+    handle.close()
+
+    assert_results_identical(reference, served)
+    assert injector.total_fired >= 1  # the run really crossed fault points
+    shards[1].shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Async ingestion == synchronous feed
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", SYSTEMS)
+def test_async_ingestion_is_bit_identical_to_feed(tiny_sequence, algorithm):
+    perf = PerfRecorder()
+    registry = SessionRegistry(max_live=2, perf=perf)
+    registry.open(algorithm, _factory(algorithm, tiny_sequence.intrinsics))
+    with IngestPool(workers=2) as pool:
+        handle = AsyncSessionHandle(
+            registry, algorithm, pool=pool, queue_depth=2, perf=perf
+        )
+        indices = [handle.submit(tiny_sequence[i]) for i in range(NUM_FRAMES)]
+        served = handle.result()
+    assert indices == list(range(NUM_FRAMES))
+
+    reference = _factory(algorithm, tiny_sequence.intrinsics)()
+    reference.begin(tiny_sequence.name)
+    for index in range(NUM_FRAMES):
+        reference.feed(tiny_sequence[index], index=index)
+    assert_results_identical(reference.finalize(), served)
+    # The high-water counter saw at least one in-flight frame.
+    assert perf.counters.as_dict()["serve.queue_depth"] >= 1
+    registry.shutdown()
+
+
+def test_async_results_stream_in_order(tiny_sequence):
+    registry = SessionRegistry(max_live=2)
+    registry.open("cam", _factory("orb", tiny_sequence.intrinsics))
+    seen = []
+    handle = AsyncSessionHandle(
+        registry, "cam", queue_depth=3, on_result=lambda r: seen.append(r.frame_index)
+    )
+    for index in range(NUM_FRAMES):
+        handle.submit(tiny_sequence[index])
+    handle.flush()
+    assert seen == list(range(NUM_FRAMES))
+    handle.close()
+    registry.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Shard routing
+# ---------------------------------------------------------------------------
+def test_shard_routing_is_deterministic_and_pinned():
+    # CRC-32 routing is stable across processes and runs: these exact
+    # assignments must never change (they are a wire-compatibility
+    # contract between frontends).
+    assert shard_index("cam-0", 4) == 2
+    assert shard_index("cam-1", 4) == 0
+    assert shard_index("cam-2", 3) == 1
+    assert shard_index("desk", 4) == 2
+    for sid in ("a", "b", "cam-0", "stream/7"):
+        assert shard_index(sid, 3) == shard_index(sid, 3)
+        assert 0 <= shard_index(sid, 3) < 3
+    with pytest.raises(ValueError):
+        shard_index("x", 0)
+
+
+def test_sharded_registry_routes_and_shares_the_lot(tiny_sequence):
+    sharded = ShardedRegistry(num_shards=3, max_live=2)
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    ids = [f"cam-{i}" for i in range(5)]
+    for sid in ids:
+        sharded.open(sid, factory, sequence_name=tiny_sequence.name)
+        with sharded.checkout(sid) as session:
+            session.feed(tiny_sequence[0], index=0)
+    for sid in ids:
+        owner = sharded.shard_for(sid)
+        assert sid in owner
+        assert owner is sharded.shards[shard_index(sid, 3)]
+    stats = sharded.stats()
+    assert stats["sessions"] == 5 and len(stats["shards"]) == 3
+    sharded.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# HTTP API
+# ---------------------------------------------------------------------------
+def test_http_round_trip_with_midstream_park(tiny_sequence):
+    reference = _factory("orb", tiny_sequence.intrinsics)().run(
+        tiny_sequence, num_frames=NUM_FRAMES
+    )
+    with SlamServer(num_shards=2, max_live=2) as server:
+        client = SlamClient(server.address)
+        info = client.create_session(
+            "cam-http",
+            "orb",
+            tiny_sequence.intrinsics.width,
+            tiny_sequence.intrinsics.height,
+            **CHEAP,
+        )
+        assert info["created"] and info["shard"] == shard_index("cam-http", 2)
+        for index in range(3):
+            assert client.post_frame("cam-http", tiny_sequence[index])["index"] == index
+        assert client.park("cam-http")["parked"]
+        for index in range(3, NUM_FRAMES):  # transparent resume on next frame
+            client.post_frame("cam-http", tiny_sequence[index])
+        payload = client.result("cam-http")
+
+    assert payload["algorithm"] == "orb-lite"
+    assert payload["num_frames"] == NUM_FRAMES
+    for index, frame in enumerate(payload["frames"]):
+        # JSON floats round-trip exactly: the wire result is bit-identical.
+        assert frame["estimated_pose"] == (
+            reference.frames[index].estimated_pose.as_vector().tolist()
+        )
+        assert frame["tracking_loss"] == reference.frames[index].tracking_loss
+
+
+def test_http_errors_map_to_status_codes(tiny_sequence):
+    with SlamServer(num_shards=1, max_live=2) as server:
+        client = SlamClient(server.address)
+        with pytest.raises(RuntimeError, match="404"):
+            client.result("nobody")
+        with pytest.raises(RuntimeError, match="400"):
+            client.create_session("bad", "magic", 8, 8)  # unknown algorithm
+        with pytest.raises(RuntimeError, match="400"):
+            client._request("POST", "/sessions", b"not json", "application/json")
+        with pytest.raises(RuntimeError, match="404"):
+            client._request("POST", "/nowhere", b"{}", "application/json")
+
+
+# ---------------------------------------------------------------------------
+# Perf report surfacing
+# ---------------------------------------------------------------------------
+def test_serving_counters_surface_as_explicit_zeros():
+    report = build_report(PerfRecorder())
+    assert report["serving"] == {
+        "serve.queue_depth": 0,
+        "serve.backpressure_waits": 0,
+        "serve.sessions_parked": 0,
+        "serve.sessions_resumed": 0,
+    }

@@ -233,3 +233,77 @@ def test_two_services_sharing_one_recorder_do_not_drop_merges(monkeypatch):
     total = 2 * runs_per_service
     assert shared.counters.get("stub.runs") == total
     assert shared.timers.get("eval/stub").calls == total
+
+
+def test_resume_garbage_collects_the_parked_checkpoint(tmp_path, tiny_sequence):
+    """Regression: resume used to leave the parked directory behind, so
+    park/resume cycles leaked storage without bound."""
+    service = SlamService(
+        max_entries=4, checkpoint_dir=tmp_path, perf=PerfRecorder(enabled=False)
+    )
+    key = RunKey("orb", "desk", **CHEAP)
+    system = OrbLiteSlam(tiny_sequence.intrinsics)
+    system.begin(tiny_sequence.name)
+    system.feed(tiny_sequence[0], index=0)
+
+    service.checkpoint(key, system.state())
+    assert (tmp_path / key.slug()).is_dir()
+    service.resume(key)
+    assert not (tmp_path / key.slug()).exists()  # GC'd on successful resume
+    with pytest.raises(KeyError):
+        service.resume(key)
+
+    # The keep_parked knob (per call or per service) retains generations.
+    service.checkpoint(key, system.state())
+    service.resume(key, keep_parked=True)
+    assert (tmp_path / key.slug()).is_dir()
+    system.feed(tiny_sequence[1], index=1)
+    path = service.checkpoint(key, system.state())
+    assert path.name == "gen-00001"  # repeated parks append generations
+    assert service.resume(key).next_index == 2  # newest generation wins
+
+
+def test_configure_default_service_is_atomic_under_concurrency(tmp_path):
+    """Regression: a racing caller could observe a half-configured
+    default service (budget updated, trim not yet applied).  The module
+    lock makes configure/lookup atomic; the store lock commits the
+    budget and its trim together."""
+    import threading
+
+    from repro.eval.service import configure_default_service
+
+    service = configure_default_service(max_entries=8)
+    original_budget = service.max_entries
+    original_dir = service.checkpoint_dir
+    stop = threading.Event()
+    errors = []
+
+    def flip():
+        try:
+            while not stop.is_set():
+                configure_default_service(max_entries=1, checkpoint_dir=tmp_path)
+                configure_default_service(max_entries=8)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def observe():
+        try:
+            while not stop.is_set():
+                seen = default_service()
+                assert seen is service
+                assert len(seen) <= max(seen.max_entries, 8)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=t) for t in (flip, flip, observe, observe)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.3)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+    configure_default_service(max_entries=original_budget)
+    service.checkpoint_dir = original_dir
