@@ -4,7 +4,7 @@
 # benchmarks and update BENCH_hotpaths.json / BENCH_backward.json /
 # BENCH_culling.json / BENCH_sparsity.json / BENCH_pipeline.json (plus
 # the correctness-gated BENCH_robustness.json / BENCH_faults.json /
-# BENCH_serve.json) at the repo root.
+# BENCH_serve.json / BENCH_overload.json) at the repo root.
 #
 # If a gated hot-path timing regressed by more than 20% against a
 # committed BENCH_*.json, the script exits non-zero and leaves that
@@ -17,7 +17,7 @@
 #        scripts/bench_speed.sh --only culling --repeats 9
 #
 # --only runs a single benchmark; <bench> is one of:
-#   hotpaths backward culling sparsity pipeline robustness faults serve
+#   hotpaths backward culling sparsity pipeline robustness faults serve overload
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,10 +31,10 @@ if [[ "${1:-}" == "--only" ]]; then
     ONLY="$2"
     shift 2
     case "$ONLY" in
-        hotpaths|backward|culling|sparsity|pipeline|robustness|faults|serve) ;;
+        hotpaths|backward|culling|sparsity|pipeline|robustness|faults|serve|overload) ;;
         *)
             echo "unknown benchmark: $ONLY" >&2
-            echo "expected one of: hotpaths backward culling sparsity pipeline robustness faults serve" >&2
+            echo "expected one of: hotpaths backward culling sparsity pipeline robustness faults serve overload" >&2
             exit 2
             ;;
     esac
@@ -64,3 +64,8 @@ run_bench faults benchmarks/bench_faults.py --gate
 # budget are bit-identical to a synchronous feed loop); throughput and
 # ingest latency are recorded, not gated.
 run_bench serve benchmarks/bench_serve.py --gate
+# Overload tier: correctness-gated (4x over-capacity chaos storm loses
+# no admitted frame, disarmed server matches the PR 9 path bit-exactly,
+# graceful drain parks and resumes bit-exactly); admitted-POST p95 is
+# bounded, not trend-gated.
+run_bench overload benchmarks/bench_overload.py --gate

@@ -74,6 +74,14 @@ echo "== serving smoke =="
 # benchmarks/bench_serve.py.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_serve.py --smoke
 
+echo "== overload smoke =="
+# One chaos storm client (stalls + a torn upload) against a one-slot
+# admission budget: the server must shed loudly, leak no admission
+# slot, and the admitted stream must stay bit-identical to a plain
+# synchronous feed.  The 8-client / 2-slot storm grid runs in
+# benchmarks/bench_overload.py.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_overload.py --smoke
+
 if [[ "$RUN_SLOW" == "1" ]]; then
     echo "== slow lane (randomized equivalence sweeps + full robustness and fault matrices) =="
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q -m slow

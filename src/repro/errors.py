@@ -30,6 +30,7 @@ __all__ = [
     "FatalError",
     "InjectedCrashError",
     "InjectedFaultError",
+    "OverloadError",
     "ReproError",
     "RunManyError",
     "StageTimeoutError",
@@ -71,6 +72,22 @@ class StageTimeoutError(TransientError):
 
 class InjectedFaultError(TransientError):
     """A deterministic *transient* fault fired by the fault injector."""
+
+
+class OverloadError(TransientError):
+    """The serving tier shed this request instead of queueing it.
+
+    Raised by :class:`repro.serve.admission.AdmissionController` when a
+    per-client rate limit or the global in-flight-frames budget is
+    exceeded, and by a draining server refusing new work.  Transient by
+    definition — the same request succeeds once load subsides —
+    ``retry_after`` tells the client how long to back off (the HTTP tier
+    maps it to a 429/503 response with a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class InjectedCrashError(FatalError):

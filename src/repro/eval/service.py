@@ -34,6 +34,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
+
 from repro.errors import CheckpointCorruptError, RunManyError, TransientError
 from repro.perf import PerfRecorder, global_recorder
 from repro.serve.registry import LruMap, ParkingLot
@@ -346,21 +348,46 @@ class RetryPolicy:
     propagates immediately.  ``max_retries`` bounds the *additional*
     attempts after the first, and the sleep before retry ``n`` (0-based)
     is ``min(backoff * 2**n, backoff_cap)`` seconds.
+
+    ``jitter`` de-synchronizes retry herds *deterministically*: the base
+    delay is scaled by ``1 - jitter * u`` where ``u`` is drawn from a
+    ``SeedSequence((jitter_seed, domain, retry_index))`` generator — the
+    repo's scenario/fault idiom — so two policies with the same seed
+    back off identically on every machine (recovery timing stays
+    reproducible in tests) while different seeds spread a thundering
+    herd apart.  ``jitter=0`` (the default) reproduces the pre-jitter
+    delays bit-for-bit.
     """
 
     max_retries: int = 3
     backoff: float = 0.02
     backoff_cap: float = 0.5
+    jitter: float = 0.0
+    jitter_seed: int = 0
+
+    # Keeps jitter draws from colliding with scenario (1-4), fault
+    # (101-105) and serving-fault (201-202) domains.
+    _JITTER_DOMAIN = 301
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff < 0 or self.backoff_cap < 0:
             raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     def delay(self, retry_index: int) -> float:
         """Seconds to sleep before 0-based retry ``retry_index``."""
-        return min(self.backoff * (2.0 ** retry_index), self.backoff_cap)
+        base = min(self.backoff * (2.0 ** retry_index), self.backoff_cap)
+        if self.jitter <= 0.0:
+            return base
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                (self.jitter_seed, self._JITTER_DOMAIN, retry_index)
+            )
+        )
+        return base * (1.0 - self.jitter * float(rng.random()))
 
 
 class SlamService:

@@ -1,4 +1,9 @@
-"""Deterministic fault injection (see :mod:`repro.faults.injector`)."""
+"""Deterministic fault injection (see :mod:`repro.faults.injector`).
+
+Pipeline-level plans live in :mod:`repro.faults.plans`; serving-level
+client-misbehavior plans (stalls, mid-upload disconnects, admission
+storms) in :mod:`repro.faults.serving`.
+"""
 
 from repro.faults.injector import (
     CheckpointFaults,
@@ -8,14 +13,28 @@ from repro.faults.injector import (
     StallFaults,
 )
 from repro.faults.plans import FAULT_PLANS, available_fault_plans, get_fault_plan
+from repro.faults.serving import (
+    SERVING_FAULT_PLANS,
+    ClientDisconnects,
+    ClientStalls,
+    ServingFaultPlan,
+    available_serving_fault_plans,
+    get_serving_fault_plan,
+)
 
 __all__ = [
     "CheckpointFaults",
+    "ClientDisconnects",
+    "ClientStalls",
     "FAULT_PLANS",
     "FaultInjector",
     "FaultPlan",
+    "SERVING_FAULT_PLANS",
+    "ServingFaultPlan",
     "StageFaults",
     "StallFaults",
     "available_fault_plans",
+    "available_serving_fault_plans",
     "get_fault_plan",
+    "get_serving_fault_plan",
 ]

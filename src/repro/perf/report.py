@@ -50,12 +50,17 @@ RASTERIZER_COUNTERS = (
 
 # The serving-tier counters (repro.serve), explicit zeros when serving
 # never ran: the ingestion queue's high-water depth, producer blocking
-# episodes on the bounded queue, and registry checkpoint-parking churn.
+# episodes on the bounded queue, registry checkpoint-parking churn, and
+# the PR 10 overload tallies — admission/drain shedding, per-frame
+# deadline rejections, and sessions parked by a graceful drain.
 SERVING_COUNTERS = (
     "serve.queue_depth",
     "serve.backpressure_waits",
     "serve.sessions_parked",
     "serve.sessions_resumed",
+    "serve.shed_frames",
+    "serve.deadline_rejections",
+    "serve.drain_parked",
 )
 
 

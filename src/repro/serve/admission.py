@@ -1,0 +1,189 @@
+"""Admission control for the serving tier: shed load, never queue it.
+
+Overload is the failure mode PRs 6–9 did not cover: an over-capacity
+client storm queueing unboundedly at the HTTP layer starves live
+sessions and voids every latency promise.  The defense here is classic
+load shedding — excess work is *refused loudly* at the front door, never
+absorbed silently:
+
+* :class:`TokenBucket` — the per-client rate limiter primitive: a
+  client may burst up to ``burst`` frames, then is throttled to ``rate``
+  frames/second.
+* :class:`AdmissionController` — the server-wide policy: per-client
+  token buckets plus a global in-flight-frames budget.  ``admit`` either
+  succeeds (the frame is *admitted* and counted in flight until
+  ``release``) or raises :class:`~repro.errors.OverloadError` carrying a
+  ``retry_after`` hint; the HTTP tier maps that to ``429`` with a
+  ``Retry-After`` header.  Every shed is counted as
+  ``serve.shed_frames``.
+
+The controller is deliberately memoryless about *admitted* work beyond
+the in-flight count: admitted frames flow through the PR 9 ingestion
+path unchanged, which is what keeps an unloaded armed server
+bit-identical to a disarmed one.  ``SlamServer(admission=None)`` removes
+this layer entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import OverloadError
+from repro.perf import NULL_RECORDER, PerfRecorder
+from repro.serve.registry import LruMap
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """A token bucket: ``burst`` capacity refilled at ``rate`` tokens/s.
+
+    Not thread-safe — the :class:`AdmissionController` locks around it.
+    Time is passed in by the caller (``now``, seconds on an arbitrary
+    monotonic clock) so tests can drive the bucket deterministically.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last = None
+
+    def try_take(self, now: float) -> float:
+        """Take one token; return 0.0, or seconds until one is available.
+
+        A return of 0.0 means the token was taken (the request is
+        admitted).  A positive return means the bucket is empty, nothing
+        was taken, and the caller should retry after that many seconds.
+        """
+        if self._last is None:
+            self._last = now
+        elif now > self._last:
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Per-client rate limits plus a global in-flight-frames budget.
+
+    ``admit(client_id)`` either admits the request — the global
+    in-flight count is incremented until the matching ``release()`` —
+    or raises :class:`~repro.errors.OverloadError` whose ``retry_after``
+    tells the client when capacity is expected back:
+
+    * ``client_rate`` / ``client_burst`` — each distinct ``client_id``
+      gets a :class:`TokenBucket`; ``client_rate=None`` disables
+      per-client limiting.  Buckets live in a bounded LRU map
+      (``max_clients``), so a storm of distinct client ids cannot grow
+      controller memory without bound — an evicted client simply starts
+      over with a full burst.
+    * ``max_in_flight`` — a hard cap on frames admitted but not yet
+      processed across *all* clients; ``None`` disables the budget.
+
+    Shedding is loud: every refusal bumps ``serve.shed_frames`` and the
+    per-reason tallies surfaced by :meth:`stats` (and thus by the
+    server's ``GET /healthz``).  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        client_rate: float | None = None,
+        client_burst: int = 4,
+        max_in_flight: int | None = None,
+        retry_after: float = 0.05,
+        max_clients: int = 1024,
+        perf: PerfRecorder | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if client_rate is not None and client_rate <= 0:
+            raise ValueError("client_rate must be positive (or None to disable)")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 (or None to disable)")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.client_rate = client_rate
+        self.client_burst = int(client_burst)
+        self.max_in_flight = max_in_flight
+        self.retry_after = float(retry_after)
+        self.perf = perf if perf is not None else NULL_RECORDER
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets = LruMap(budget=max(1, int(max_clients)))
+        self._in_flight = 0
+        self._shed_rate_limited = 0
+        self._shed_in_flight = 0
+
+    def _shed(self, reason_attr: str, message: str, retry_after: float):
+        setattr(self, reason_attr, getattr(self, reason_attr) + 1)
+        self.perf.count("serve.shed_frames")
+        return OverloadError(message, retry_after=max(retry_after, self.retry_after))
+
+    def admit(self, client_id: str | None = None) -> None:
+        """Admit one frame or raise :class:`~repro.errors.OverloadError`.
+
+        Checks the global budget first (cheapest to recover from — no
+        token is consumed on refusal), then the caller's token bucket.
+        On success the caller owns one in-flight slot and must
+        ``release()`` it exactly once, whether the frame completes,
+        fails, or is rejected.
+        """
+        with self._lock:
+            if (
+                self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight
+            ):
+                raise self._shed(
+                    "_shed_in_flight",
+                    f"in-flight budget exhausted ({self._in_flight}/"
+                    f"{self.max_in_flight} frames)",
+                    self.retry_after,
+                )
+            if self.client_rate is not None and client_id is not None:
+                bucket = self._buckets.get(client_id)
+                if bucket is None:
+                    bucket = TokenBucket(self.client_rate, self.client_burst)
+                    self._buckets.put(client_id, bucket)
+                wait = bucket.try_take(self.clock())
+                if wait > 0.0:
+                    raise self._shed(
+                        "_shed_rate_limited",
+                        f"client '{client_id}' over its rate limit "
+                        f"({self.client_rate:g}/s, burst {self.client_burst})",
+                        wait,
+                    )
+            self._in_flight += 1
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` in-flight slots (one per admitted frame)."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - int(n))
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> dict:
+        """Occupancy and shed tallies (for ``GET /healthz``)."""
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "client_rate": self.client_rate,
+                "client_burst": self.client_burst,
+                "clients_tracked": len(self._buckets),
+                "shed_rate_limited": self._shed_rate_limited,
+                "shed_in_flight": self._shed_in_flight,
+                "shed_total": self._shed_rate_limited + self._shed_in_flight,
+            }

@@ -13,12 +13,36 @@ npz payloads, no dependencies beyond the standard library:
   finalized result as JSON (:func:`result_to_payload`).
 * ``POST /sessions/<id>/park`` — flushes, then parks the session's
   bit-exact state to the shared lot; the next frame resumes it.
+* ``GET /healthz`` — liveness: registry occupancy, queued frames,
+  admission/shed tallies, drain status.
+* ``GET /sessions`` — live and parked session ids.
+
+Overload taxonomy (PR 10).  The server *sheds* excess work loudly
+instead of queueing it:
+
+* ``429`` + ``Retry-After`` — the :class:`AdmissionController` refused
+  the frame (per-client rate limit or global in-flight budget).
+* ``413`` — the declared ``Content-Length`` exceeds ``max_body_bytes``;
+  the body is never read.
+* ``503`` + ``Retry-After`` — the server is draining
+  (:meth:`SlamServer.stop` with a ``drain_timeout``) and admits no new
+  work; reads (``/healthz``, ``/result``) still answer.
+* ``400`` — an undecodable frame body (e.g. a mid-upload disconnect
+  truncated the npz); the frame was never admitted into a session.
+
+Per-frame deadlines ride the ``X-Deadline-Ms`` request header: a frame
+whose deadline expires while queued is rejected whole (never
+half-ingested), reported in the 200 response of a later request only
+via counters — the *submitting* POST already succeeded, which is the
+documented at-most-once-ingestion contract of deadline shedding.
 
 Bit-identity survives the wire: frames cross as lossless float64 npz
 bundles, and results cross as JSON whose floats round-trip exactly
 (Python serializes floats via ``repr``, which is shortest-round-trip),
 so a trajectory fetched over HTTP is bit-identical to one computed
-in-process — ``tests/test_serve.py`` asserts it.
+in-process — ``tests/test_serve.py`` asserts it.  With
+``admission=None`` (the default) and no deadlines the PR 10 layer is
+fully disarmed and the server behaves exactly like the PR 9 one.
 
 :class:`SlamClient` is the matching stdlib client
 (:mod:`urllib.request`), used by the example and the tests.
@@ -29,6 +53,7 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -36,15 +61,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.datasets.sequences import RGBDFrame
-from repro.errors import ReproError
+from repro.errors import OverloadError, ReproError
 from repro.gaussians.camera import Pose
-from repro.perf import PerfRecorder
+from repro.perf import PerfRecorder, global_recorder
+from repro.serve.admission import AdmissionController
 from repro.serve.ingest import AsyncSessionHandle, IngestPool
 from repro.serve.shard import ShardedRegistry, shard_index
 from repro.slam.results import SlamResult
 
 __all__ = [
     "SlamClient",
+    "SlamClientError",
     "SlamServer",
     "decode_frame",
     "default_session_factory",
@@ -161,6 +188,14 @@ class SlamServer:
         queue_depth / retry / watchdog_timeout: per-session
             :class:`AsyncSessionHandle` knobs.
         pool_workers: drain workers shared by all sessions.
+        admission: optional :class:`AdmissionController` shedding frame
+            POSTs (429) under per-client rate limits or the global
+            in-flight budget.  ``None`` (default) disarms admission
+            entirely — the server behaves exactly like the PR 9 one.
+        max_body_bytes: declared-``Content-Length`` cap; larger request
+            bodies are refused with 413 before a byte is read.
+        max_live_gaussians / max_live_bytes: per-shard memory-pressure
+            parking budgets forwarded to an owned registry.
     """
 
     def __init__(
@@ -177,22 +212,44 @@ class SlamServer:
         watchdog_timeout: float | None = None,
         pool_workers: int = 4,
         perf: PerfRecorder | None = None,
+        admission: AdmissionController | None = None,
+        max_body_bytes: int = 64 * 1024 * 1024,
+        max_live_gaussians: int | None = None,
+        max_live_bytes: int | None = None,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
         self._own_registry = registry is None
         self.registry = registry or ShardedRegistry(
-            num_shards=num_shards, max_live=max_live, park_root=park_root, perf=perf
+            num_shards=num_shards,
+            max_live=max_live,
+            park_root=park_root,
+            perf=perf,
+            max_live_gaussians=max_live_gaussians,
+            max_live_bytes=max_live_bytes,
         )
         self.session_factory = session_factory
         self.queue_depth = queue_depth
         self.retry = retry
         self.watchdog_timeout = watchdog_timeout
         self.perf = perf
+        self.admission = admission
+        self.max_body_bytes = max_body_bytes
+        self.drain_retry_after = 0.1
         self.pool = IngestPool(workers=pool_workers)
         self._handles: dict[str, AsyncSessionHandle] = {}
         self._handles_lock = threading.Lock()
+        self._draining = False
+        self._stats_lock = threading.Lock()
+        self._deadline_rejections = 0
+        self._drain_report: dict | None = None
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     @property
     def address(self) -> str:
@@ -208,8 +265,33 @@ class SlamServer:
             self._thread.start()
         return self.address
 
-    def stop(self, park_live: bool = False) -> None:
-        """Stop serving and release every session (idempotent)."""
+    def stop(self, park_live: bool = False, drain_timeout: float | None = None) -> dict | None:
+        """Stop serving and release every session (idempotent).
+
+        With ``drain_timeout`` set, performs a *graceful drain* first
+        and returns a report of what happened:
+
+        1. stop admitting — every new POST answers 503 (+``Retry-After``)
+           while reads keep working;
+        2. wait up to ``drain_timeout`` seconds (total, across sessions)
+           for queued frames to finish through the ordinary drain path;
+        3. past the deadline, *shed* whatever is still queued — counted
+           loudly as ``serve.shed_frames``, admission slots returned —
+           letting only the already-started frame finish;
+        4. park every live session through the atomic checkpoint path
+           (``serve.drain_parked``), so a restarted server resumes each
+           stream bit-identically from the shared lot.
+
+        The report maps ``drained_sessions`` / ``shed_frames`` /
+        ``parked_sessions`` / ``failed_sessions``; without
+        ``drain_timeout`` the PR 9 behavior (and ``None`` return) is
+        unchanged.  Note an owned temporary ``park_root`` is deleted on
+        shutdown — point ``park_root`` somewhere durable for the parked
+        state to outlive the server.
+        """
+        report: dict | None = None
+        if drain_timeout is not None and self._thread is not None:
+            report = self._graceful_drain(drain_timeout)
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join()
@@ -218,6 +300,48 @@ class SlamServer:
         self.pool.shutdown()
         if self._own_registry:
             self.registry.shutdown(park_live=park_live)
+        return report
+
+    def _graceful_drain(self, drain_timeout: float) -> dict:
+        """Drain-then-shed-then-park (the body of a graceful ``stop``)."""
+        if drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        self._draining = True
+        recorder = self.perf if self.perf is not None else global_recorder()
+        report = {
+            "drained_sessions": 0,
+            "shed_frames": 0,
+            "parked_sessions": 0,
+            "failed_sessions": 0,
+        }
+        deadline = time.monotonic() + drain_timeout
+        with self._handles_lock:
+            handles = dict(self._handles)
+        for handle in handles.values():
+            if handle.drain_until(deadline):
+                report["drained_sessions"] += 1
+                continue
+            shed = handle.shed_pending()
+            report["shed_frames"] += shed
+            if self.admission is not None and shed:
+                self.admission.release(shed)
+            # The drain worker may still be feeding the one frame it had
+            # already started when the deadline hit; shedding cleared the
+            # queue behind it, so this wait is bounded by a single frame
+            # (or returns immediately if the session is failed).
+            handle.drain_until(max(deadline, time.monotonic() + 2.0))
+        for session_id in list(self.registry.live_ids()):
+            try:
+                self.registry.park(session_id)
+                report["parked_sessions"] += 1
+                recorder.count("serve.drain_parked")
+            except (KeyError, ValueError, ReproError):
+                # Raced an eviction-park, or the session is failed /
+                # still pinned: report it rather than abort the drain.
+                report["failed_sessions"] += 1
+        with self._stats_lock:
+            self._drain_report = dict(report)
+        return report
 
     def __enter__(self) -> "SlamServer":
         self.start()
@@ -236,6 +360,18 @@ class SlamServer:
                 raise KeyError(f"unknown session {session_id!r}")
             return handle
 
+    def _frame_done(self, frame_result) -> None:
+        """Drain-worker callback: a queued frame completed."""
+        if self.admission is not None:
+            self.admission.release()
+
+    def _frame_rejected(self, frame) -> None:
+        """Drain-worker callback: a queued frame missed its deadline."""
+        with self._stats_lock:
+            self._deadline_rejections += 1
+        if self.admission is not None:
+            self.admission.release()
+
     def create_session(self, spec: dict) -> dict:
         session_id = spec.get("session_id")
         if not session_id or not isinstance(session_id, str):
@@ -252,6 +388,8 @@ class SlamServer:
                     retry=self.retry,
                     watchdog_timeout=self.watchdog_timeout,
                     perf=self.perf,
+                    on_result=self._frame_done,
+                    on_reject=self._frame_rejected,
                 )
         return {
             "session_id": session_id,
@@ -260,8 +398,33 @@ class SlamServer:
             "resumed": opened.resumed,
         }
 
-    def ingest_frame(self, session_id: str, body: bytes) -> dict:
-        index = self._handle(session_id).submit(decode_frame(body))
+    def ingest_frame(
+        self,
+        session_id: str,
+        body: bytes,
+        client_id: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        handle = self._handle(session_id)  # unknown session -> 404, no slot taken
+        if self.admission is not None:
+            self.admission.admit(client_id)
+        try:
+            try:
+                frame = decode_frame(body)
+            except Exception as exc:
+                # Truncated/garbled npz (e.g. a mid-upload disconnect
+                # resent by a proxy): the frame never touched a session.
+                raise ValueError(f"undecodable frame body: {exc}") from exc
+            deadline = (
+                time.monotonic() + deadline_ms / 1000.0
+                if deadline_ms is not None
+                else None
+            )
+            index = handle.submit(frame, deadline=deadline)
+        except BaseException:
+            if self.admission is not None:
+                self.admission.release()
+            raise
         return {"session_id": session_id, "index": index}
 
     def session_result(self, session_id: str) -> dict:
@@ -270,6 +433,39 @@ class SlamServer:
     def park_session(self, session_id: str) -> dict:
         path = self._handle(session_id).park()
         return {"session_id": session_id, "parked": True, "generation": path.name}
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: occupancy, queues, shed tallies."""
+        with self._handles_lock:
+            depths = {sid: handle.in_flight for sid, handle in self._handles.items()}
+        with self._stats_lock:
+            deadline_rejections = self._deadline_rejections
+            drain_report = self._drain_report
+        return {
+            "status": "draining" if self._draining else "ok",
+            "registry": self.registry.stats(),
+            "queued_frames": sum(depths.values()),
+            "queue_depths": depths,
+            "deadline_rejections": deadline_rejections,
+            "admission": None if self.admission is None else self.admission.stats(),
+            "drain": drain_report,
+        }
+
+    def list_sessions(self) -> dict:
+        """The ``GET /sessions`` payload: live and parked ids."""
+        return {
+            "live": self.registry.live_ids(),
+            "parked": self.registry.parked_ids(),
+        }
+
+
+class _BodyTooLarge(Exception):
+    """Declared Content-Length exceeds the server's body cap (-> 413)."""
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"request body of {length} bytes exceeds the {limit}-byte cap"
+        )
 
 
 def _make_handler(server: SlamServer):
@@ -283,28 +479,79 @@ def _make_handler(server: SlamServer):
 
         def _read_body(self) -> bytes:
             length = int(self.headers.get("Content-Length") or 0)
-            return self.rfile.read(length) if length else b""
+            if length > server.max_body_bytes:
+                raise _BodyTooLarge(length, server.max_body_bytes)
+            if not length:
+                return b""
+            body = self.rfile.read(length)
+            if len(body) != length:
+                # The client disconnected mid-upload; the partial body
+                # must never reach a session half-ingested.
+                raise ValueError(
+                    f"truncated request body ({len(body)}/{length} bytes)"
+                )
+            return body
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(
+            self,
+            status: int,
+            payload: dict,
+            headers: dict | None = None,
+            close: bool = False,
+        ) -> None:
             body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                if close:
+                    # An unread request body would bleed into the next
+                    # keep-alive request on this connection.
+                    self.send_header("Connection", "close")
+                    self.close_connection = True
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client is gone (a chaos disconnect); dropping the
+                # reply must not take the worker thread down with it.
+                self.close_connection = True
 
         def _dispatch(self, method: str) -> None:
             try:
                 parts = [p for p in self.path.split("/") if p]
+                if method == "POST" and server.draining:
+                    return self._reply(
+                        503,
+                        {"error": "server is draining, not admitting new work"},
+                        headers={"Retry-After": f"{server.drain_retry_after:g}"},
+                        close=True,
+                    )
+                if method == "GET" and parts == ["healthz"]:
+                    return self._reply(200, server.health())
                 if parts and parts[0] == "sessions":
+                    if method == "GET" and len(parts) == 1:
+                        return self._reply(200, server.list_sessions())
                     if method == "POST" and len(parts) == 1:
                         spec = json.loads(self._read_body().decode("utf-8"))
                         return self._reply(200, server.create_session(spec))
                     if len(parts) == 3:
                         session_id, action = parts[1], parts[2]
                         if method == "POST" and action == "frames":
+                            deadline_ms = self.headers.get("X-Deadline-Ms")
                             return self._reply(
-                                200, server.ingest_frame(session_id, self._read_body())
+                                200,
+                                server.ingest_frame(
+                                    session_id,
+                                    self._read_body(),
+                                    client_id=self._client_id(),
+                                    deadline_ms=(
+                                        float(deadline_ms)
+                                        if deadline_ms is not None
+                                        else None
+                                    ),
+                                ),
                             )
                         if method == "GET" and action == "result":
                             return self._reply(200, server.session_result(session_id))
@@ -313,14 +560,27 @@ def _make_handler(server: SlamServer):
                 return self._reply(
                     404, {"error": f"no route {method} {self.path}"}
                 )
+            except _BodyTooLarge as exc:
+                return self._reply(413, {"error": str(exc)}, close=True)
+            except OverloadError as exc:
+                return self._reply(
+                    429,
+                    {"error": str(exc), "kind": type(exc).__name__},
+                    headers={"Retry-After": f"{exc.retry_after:g}"},
+                    close=True,
+                )
             except KeyError as exc:
-                return self._reply(404, {"error": str(exc)})
+                return self._reply(404, {"error": str(exc)}, close=True)
             except (ValueError, json.JSONDecodeError) as exc:
-                return self._reply(400, {"error": str(exc)})
+                return self._reply(400, {"error": str(exc)}, close=True)
             except ReproError as exc:
                 return self._reply(
                     500, {"error": str(exc), "kind": type(exc).__name__}
                 )
+
+        def _client_id(self) -> str:
+            """Rate-limiting identity: the X-Client-Id header or peer host."""
+            return self.headers.get("X-Client-Id") or self.client_address[0]
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             self._dispatch("POST")
@@ -334,19 +594,51 @@ def _make_handler(server: SlamServer):
 # ---------------------------------------------------------------------------
 # Client
 # ---------------------------------------------------------------------------
-class SlamClient:
-    """Minimal stdlib client for :class:`SlamServer` (urllib-based)."""
+class SlamClientError(RuntimeError):
+    """A non-2xx server answer, with the status and shed metadata.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``code`` is the HTTP status; ``retry_after`` carries the server's
+    ``Retry-After`` hint in seconds (None when absent), so overload-aware
+    callers (the chaos driver, backoff loops) can honor 429/503 shedding
+    without parsing the message.  Subclasses ``RuntimeError`` with the
+    same message format the PR 9 client raised.
+    """
+
+    def __init__(self, message: str, code: int, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class SlamClient:
+    """Minimal stdlib client for :class:`SlamServer` (urllib-based).
+
+    ``client_id`` names this client to the server's admission controller
+    (the ``X-Client-Id`` header); ``deadline_ms`` on :meth:`post_frame`
+    bounds the frame's server-side queue wait.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 60.0, client_id: str | None = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
 
-    def _request(self, method: str, path: str, body: bytes | None, content_type: str) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        content_type: str,
+        extra_headers: dict | None = None,
+    ) -> dict:
+        headers = {"Content-Type": content_type} if body is not None else {}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        headers.update(extra_headers or {})
         request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=body,
-            method=method,
-            headers={"Content-Type": content_type} if body is not None else {},
+            f"{self.base_url}{path}", data=body, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -357,7 +649,12 @@ class SlamClient:
                 detail = json.loads(detail).get("error", detail)
             except json.JSONDecodeError:
                 pass
-            raise RuntimeError(f"{method} {path} -> {exc.code}: {detail}") from None
+            retry_after = exc.headers.get("Retry-After")
+            raise SlamClientError(
+                f"{method} {path} -> {exc.code}: {detail}",
+                code=exc.code,
+                retry_after=float(retry_after) if retry_after is not None else None,
+            ) from None
 
     def create_session(self, session_id: str, algorithm: str, width: int, height: int, **spec) -> dict:
         """``POST /sessions`` — open (or resume) a session."""
@@ -368,13 +665,18 @@ class SlamClient:
             "POST", "/sessions", json.dumps(payload).encode("utf-8"), "application/json"
         )
 
-    def post_frame(self, session_id: str, frame: RGBDFrame) -> dict:
+    def post_frame(
+        self, session_id: str, frame: RGBDFrame, deadline_ms: float | None = None
+    ) -> dict:
         """``POST /sessions/<id>/frames`` — enqueue one frame."""
         return self._request(
             "POST",
             f"/sessions/{session_id}/frames",
             encode_frame(frame),
             "application/x-npz",
+            extra_headers=(
+                {"X-Deadline-Ms": f"{deadline_ms:g}"} if deadline_ms is not None else None
+            ),
         )
 
     def result(self, session_id: str) -> dict:
@@ -384,3 +686,11 @@ class SlamClient:
     def park(self, session_id: str) -> dict:
         """``POST /sessions/<id>/park`` — flush and park the session."""
         return self._request("POST", f"/sessions/{session_id}/park", b"", "application/json")
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` — liveness, occupancy and shed tallies."""
+        return self._request("GET", "/healthz", None, "")
+
+    def sessions(self) -> dict:
+        """``GET /sessions`` — live and parked session ids."""
+        return self._request("GET", "/sessions", None, "")

@@ -101,6 +101,10 @@ class AsyncSessionHandle:
         on_result: optional callback invoked with each
             :class:`FrameResult` as its frame completes, on the drain
             worker (the benchmark's ingest-latency probe).
+        on_reject: optional callback invoked with each frame dropped for
+            an expired deadline (on the drain worker), after the
+            rejection was counted as ``serve.deadline_rejections`` — the
+            server releases the frame's admission slot here.
     """
 
     def __init__(
@@ -113,6 +117,7 @@ class AsyncSessionHandle:
         watchdog_timeout: float | None = None,
         perf: PerfRecorder | None = None,
         on_result=None,
+        on_reject=None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -127,6 +132,7 @@ class AsyncSessionHandle:
         self.watchdog_timeout = watchdog_timeout
         self.perf = perf or global_recorder()
         self.on_result = on_result
+        self.on_reject = on_reject
         self._cond = threading.Condition()
         self._enqueued = 0
         self._processed = 0
@@ -144,13 +150,20 @@ class AsyncSessionHandle:
         with self._cond:
             return self._enqueued - self._processed
 
-    def submit(self, frame) -> int:
+    def submit(self, frame, deadline: float | None = None) -> int:
         """Enqueue one frame for asynchronous processing; return its index.
 
         Returns as soon as the frame is queued — tracking and mapping run
         on the ingest pool.  Blocks only for back-pressure (the bounded
         queue is full) or a failed session (the drain error re-raises
         here).  Frames are processed strictly in submission order.
+
+        ``deadline`` (absolute, ``time.monotonic`` clock) bounds the
+        frame's queue wait: if it expires before the drain worker starts
+        the frame, the frame is rejected whole — never half-ingested —
+        counted as ``serve.deadline_rejections`` and reported through
+        ``on_reject``.  The returned index is provisional when deadlines
+        are in play (an earlier rejection shifts later frames down).
         """
         with self._cond:
             self._raise_error()
@@ -163,7 +176,7 @@ class AsyncSessionHandle:
                     "the ingestion queue full",
                 )
             with self.registry.checkout(self.session_id) as session:
-                index = session.feed_nowait(frame)
+                index = session.feed_nowait(frame, deadline=deadline)
             self._enqueued += 1
             depth = self._enqueued - self._processed
             if depth > self._depth_high_water:
@@ -195,6 +208,46 @@ class AsyncSessionHandle:
         """Flush, then park the session to the registry's lot."""
         self.flush()
         return self.registry.park(self.session_id)
+
+    def drain_until(self, deadline: float) -> bool:
+        """Wait (until the absolute monotonic ``deadline``) for the queue
+        to empty; return whether it did.
+
+        The graceful-drain half of ``SlamServer.stop``: unlike
+        :meth:`flush` this never raises — a failed session or an expired
+        deadline returns ``False``, and the caller decides whether to
+        shed what remains.
+        """
+        with self._cond:
+            while self._enqueued - self._processed > 0:
+                if self._error is not None:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.05))
+            return True
+
+    def shed_pending(self) -> int:
+        """Drop every still-queued frame; return how many were shed.
+
+        Load shedding for a drain past its deadline: queued frames are
+        cleared whole (no tracking or mapping state is touched, so the
+        session stays checkpointable), counted both as processed — a
+        concurrent :meth:`flush` must not wait for frames that will never
+        run — and as ``serve.shed_frames``.  A frame the drain worker
+        already started is *not* shed; flush afterwards to let that
+        straggler finish.
+        """
+        with self._cond:
+            with self.registry.checkout(self.session_id) as session:
+                dropped = session.clear_pending()
+            shed = len(dropped)
+            if shed:
+                self._processed += shed
+                self.perf.count("serve.shed_frames", shed)
+                self._cond.notify_all()
+            return shed
 
     def close(self) -> None:
         """Flush and detach (shuts the pool down if the handle owns it)."""
@@ -278,18 +331,32 @@ class AsyncSessionHandle:
                 self._cond.notify_all()
 
     def _drain_batch(self) -> int:
-        """Drain the session's queue once (with retry when armed)."""
+        """Drain the session's queue once (with retry when armed).
+
+        Returns how many queued frames left the queue — completions plus
+        deadline rejections — which is what the handle's progress
+        accounting needs (a rejected frame must still unblock ``flush``
+        and back-pressured producers).
+        """
+        rejected: list = []
+
+        def reject(frame) -> None:
+            rejected.append(frame)
+            self.perf.count("serve.deadline_rejections")
+            if self.on_reject is not None:
+                self.on_reject(frame)
+
         with self.registry.checkout(self.session_id) as session:
             if self.retry is None:
-                results = session.drain_pending()
+                results = session.drain_pending(on_reject=reject)
             else:
-                results = self._drain_with_retry(session)
+                results = self._drain_with_retry(session, reject)
         if self.on_result is not None:
             for frame_result in results:
                 self.on_result(frame_result)
-        return len(results)
+        return len(results) + len(rejected)
 
-    def _drain_with_retry(self, session) -> list:
+    def _drain_with_retry(self, session, on_reject) -> list:
         """Frame-granular transient retry (session checked out, pinned).
 
         Before each frame a bit-exact snapshot is taken; a
@@ -307,7 +374,9 @@ class AsyncSessionHandle:
         while session.pending_count > 0:
             snapshot = session.state()
             try:
-                results.extend(session.drain_pending(max_frames=1))
+                results.extend(
+                    session.drain_pending(max_frames=1, on_reject=on_reject)
+                )
                 attempt = 0
             except TransientError as exc:
                 attempt += 1

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import collections
 import contextlib
+import os
 import pathlib
 import shutil
 import tempfile
@@ -118,13 +119,34 @@ class ParkingLot:
     exactly like the service recovery driver) and then — unless
     ``keep_parked`` — deletes the name's parking directory, so parking
     storage is bounded by the *live* parked population, not its history.
+
+    Compound operations (park's read-next-generation-then-write,
+    resume's load-then-GC) serialize per ``(root, name)`` through a
+    process-wide lock table, so several registries sharing one root —
+    the shards of a deployment, or a resume racing an eviction-park —
+    interleave whole operations, never their internals.  The lock keys
+    on the *absolute* root path: two lots constructed from different
+    spellings of the same directory share the lock.
     """
 
     GEN_PREFIX = "gen-"
 
+    # Process-wide (root, name) -> RLock table serializing compound
+    # parking operations across every ParkingLot instance in the process.
+    _LOCKS_GUARD = threading.Lock()
+    _LOCKS: dict = {}
+
     def __init__(self, root, keep_parked: bool = False) -> None:
         self.root = pathlib.Path(root)
         self.keep_parked = keep_parked
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        key = (os.path.abspath(self.root), name)
+        with ParkingLot._LOCKS_GUARD:
+            lock = ParkingLot._LOCKS.get(key)
+            if lock is None:
+                lock = ParkingLot._LOCKS[key] = threading.RLock()
+            return lock
 
     def _session_dir(self, name: str) -> pathlib.Path:
         if not name or "/" in name or name.startswith("."):
@@ -148,14 +170,15 @@ class ParkingLot:
 
     def park(self, name: str, state: SessionState) -> pathlib.Path:
         """Write ``state`` as the next generation of ``name``."""
-        generations = self.generations(name)
-        if generations:
-            next_gen = int(generations[-1].name[len(self.GEN_PREFIX) :]) + 1
-        else:
-            next_gen = 0
-        return save_session_state(
-            state, self._session_dir(name) / f"{self.GEN_PREFIX}{next_gen:05d}"
-        )
+        with self._name_lock(name):
+            generations = self.generations(name)
+            if generations:
+                next_gen = int(generations[-1].name[len(self.GEN_PREFIX) :]) + 1
+            else:
+                next_gen = 0
+            return save_session_state(
+                state, self._session_dir(name) / f"{self.GEN_PREFIX}{next_gen:05d}"
+            )
 
     def resume(self, name: str, keep_parked: bool | None = None) -> SessionState:
         """Load the newest valid generation of ``name``; GC the parking.
@@ -166,28 +189,30 @@ class ParkingLot:
         success the name's parking directory is deleted unless
         ``keep_parked`` (argument, defaulting to the lot's setting).
         """
-        generations = self.generations(name)
-        if not generations:
-            raise KeyError(f"no parked session state for {name!r}")
-        state = error = None
-        for generation in reversed(generations):
-            try:
-                state = load_session_state(generation)
-                break
-            except CheckpointCorruptError as exc:
-                error = exc
-        if state is None:
-            raise CheckpointCorruptError(
-                f"every parked generation of {name!r} is corrupt"
-            ) from error
-        keep = self.keep_parked if keep_parked is None else keep_parked
-        if not keep:
-            self.discard(name)
-        return state
+        with self._name_lock(name):
+            generations = self.generations(name)
+            if not generations:
+                raise KeyError(f"no parked session state for {name!r}")
+            state = error = None
+            for generation in reversed(generations):
+                try:
+                    state = load_session_state(generation)
+                    break
+                except CheckpointCorruptError as exc:
+                    error = exc
+            if state is None:
+                raise CheckpointCorruptError(
+                    f"every parked generation of {name!r} is corrupt"
+                ) from error
+            keep = self.keep_parked if keep_parked is None else keep_parked
+            if not keep:
+                self.discard(name)
+            return state
 
     def discard(self, name: str) -> None:
         """Delete every parked generation of ``name`` (idempotent)."""
-        shutil.rmtree(self._session_dir(name), ignore_errors=True)
+        with self._name_lock(name):
+            shutil.rmtree(self._session_dir(name), ignore_errors=True)
 
 
 class _SessionEntry:
@@ -221,6 +246,15 @@ class SessionRegistry:
             least-recently-touched unpinned one.  Pinned sessions are
             never evicted, so the bound is soft while more than
             ``max_live`` sessions are simultaneously checked out.
+        max_live_gaussians: memory-pressure budget on the *total* live
+            Gaussian count (summed over every live session's map).
+            Exceeding it parks coldest-first under exactly the
+            ``max_live`` victim rules — never the most-recently-touched,
+            pinned, or mid-ingest session, and never the only live one
+            (a budget one session exceeds alone would otherwise thrash).
+            ``None`` (default) disables the budget.
+        max_live_bytes: like ``max_live_gaussians`` but budgeting the
+            live maps' resident parameter bytes.
         park_root: directory for the :class:`ParkingLot`.  ``None``
             creates a private temporary lot (removed with the registry).
             Several registries — the shards of one deployment, or
@@ -240,10 +274,18 @@ class SessionRegistry:
         park_root=None,
         perf: PerfRecorder | None = None,
         keep_parked: bool = False,
+        max_live_gaussians: int | None = None,
+        max_live_bytes: int | None = None,
     ) -> None:
         if max_live < 1:
             raise ValueError("max_live must be >= 1")
+        if max_live_gaussians is not None and max_live_gaussians < 1:
+            raise ValueError("max_live_gaussians must be >= 1 (or None to disable)")
+        if max_live_bytes is not None and max_live_bytes < 1:
+            raise ValueError("max_live_bytes must be >= 1 (or None to disable)")
         self.max_live = max_live
+        self.max_live_gaussians = max_live_gaussians
+        self.max_live_bytes = max_live_bytes
         self._tmp = None
         if park_root is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-serve-park-")
@@ -287,12 +329,15 @@ class SessionRegistry:
     def stats(self) -> dict:
         """Registry telemetry snapshot for reports and benchmarks."""
         with self._lock:
+            gaussians, resident_bytes = self._live_footprint()
             return {
                 "sessions": len(self._entries),
                 "live": len(self._live),
                 "parked": sum(1 for e in self._entries.values() if e.session is None),
                 "parks": self.parks,
                 "resumes": self.resumes,
+                "live_gaussians": gaussians,
+                "live_bytes": resident_bytes,
             }
 
     # ------------------------------------------------------------------
@@ -314,9 +359,19 @@ class SessionRegistry:
                 entry = _SessionEntry(session_id, factory)
                 self._entries[session_id] = entry
                 try:
-                    if self.lot.has(session_id):
+                    # Resuming is attempted directly rather than gated on
+                    # a has() probe: with registries in other threads or
+                    # processes sharing the root, a parked state seen by
+                    # a probe can be resumed-and-GC'd by a rival before
+                    # we load it.  The lot serializes whole resumes, so
+                    # exactly one contender wins the parked state; the
+                    # losers' KeyError means "nothing parked" and they
+                    # fall through to a fresh session.
+                    try:
                         self._resume_entry(entry)
                         return OpenedSession(entry.session, created=False, resumed=True)
+                    except KeyError:
+                        pass
                     entry.session = factory()
                     entry.session.begin(sequence_name)
                 except BaseException:
@@ -421,8 +476,42 @@ class SessionRegistry:
         self._live.move_to_end(entry.session_id)
         self._evict_over_budget()
 
+    def _live_footprint(self) -> tuple[int, int]:
+        """Total (gaussians, parameter bytes) across live sessions."""
+        gaussians = 0
+        resident_bytes = 0
+        for sid in self._live:
+            model = getattr(self._entries[sid].session, "model", None)
+            if model is None:
+                continue
+            gaussians += len(model)
+            resident_bytes += sum(
+                array.nbytes for array in model.parameters().values()
+            )
+        return gaussians, resident_bytes
+
+    def _over_budget(self) -> bool:
+        if len(self._live) > self.max_live:
+            return True
+        # Memory pressure: park coldest sessions while the *aggregate*
+        # live map exceeds the budget — but never down to zero live
+        # sessions, since a single map bigger than the budget would
+        # otherwise park/resume itself forever.
+        if len(self._live) > 1 and (
+            self.max_live_gaussians is not None or self.max_live_bytes is not None
+        ):
+            gaussians, resident_bytes = self._live_footprint()
+            if (
+                self.max_live_gaussians is not None
+                and gaussians > self.max_live_gaussians
+            ):
+                return True
+            if self.max_live_bytes is not None and resident_bytes > self.max_live_bytes:
+                return True
+        return False
+
     def _evict_over_budget(self) -> None:
-        while len(self._live) > self.max_live:
+        while self._over_budget():
             # LRU-first among unpinned, quiescent sessions, excluding the
             # one just touched (the MRU tail): a session open() is about
             # to hand out must never be parked in the same breath, or the

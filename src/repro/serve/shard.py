@@ -50,13 +50,21 @@ class ShardedRegistry:
         park_root=None,
         perf: PerfRecorder | None = None,
         keep_parked: bool = False,
+        max_live_gaussians: int | None = None,
+        max_live_bytes: int | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         # The first shard owns the (possibly temporary) parking root; the
-        # rest share it.
+        # rest share it.  The memory-pressure budgets are per shard, like
+        # max_live.
         first = SessionRegistry(
-            max_live=max_live, park_root=park_root, perf=perf, keep_parked=keep_parked
+            max_live=max_live,
+            park_root=park_root,
+            perf=perf,
+            keep_parked=keep_parked,
+            max_live_gaussians=max_live_gaussians,
+            max_live_bytes=max_live_bytes,
         )
         self.shards = [first] + [
             SessionRegistry(
@@ -64,6 +72,8 @@ class ShardedRegistry:
                 park_root=first.lot.root,
                 perf=perf,
                 keep_parked=keep_parked,
+                max_live_gaussians=max_live_gaussians,
+                max_live_bytes=max_live_bytes,
             )
             for _ in range(num_shards - 1)
         ]
@@ -97,6 +107,14 @@ class ShardedRegistry:
 
     def close(self, session_id: str, discard_parked: bool = True) -> None:
         self.shard_for(session_id).close(session_id, discard_parked)
+
+    def live_ids(self) -> list[str]:
+        """Live session ids across every shard (shard-major order)."""
+        return [sid for shard in self.shards for sid in shard.live_ids()]
+
+    def parked_ids(self) -> list[str]:
+        """Parked session ids across every shard (shard-major order)."""
+        return [sid for shard in self.shards for sid in shard.parked_ids()]
 
     def stats(self) -> dict:
         """Aggregated telemetry plus the per-shard breakdown."""

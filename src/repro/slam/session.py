@@ -53,6 +53,7 @@ import json
 import pathlib
 import queue as queue_module
 import threading
+import time
 import zlib
 from typing import Protocol, runtime_checkable
 
@@ -458,7 +459,9 @@ class SessionRunner:
         with self._pending_lock:
             return len(self._pending)
 
-    def feed_nowait(self, frame, index: int | None = None) -> int:
+    def feed_nowait(
+        self, frame, index: int | None = None, deadline: float | None = None
+    ) -> int:
         """Queue one frame for deferred processing; return its index.
 
         The producer-side half of asynchronous ingestion: the frame is
@@ -471,6 +474,14 @@ class SessionRunner:
         construction.  ``index``, when given, asserts the producer and
         the session agree on the frame's position (queued frames count).
 
+        ``deadline`` (absolute, on :func:`time.monotonic`'s clock) bounds
+        how long the frame may wait in the queue: a frame whose deadline
+        has passed when the drainer reaches it is rejected *before* any
+        tracking or mapping work, never half-ingested.  Because rejected
+        frames vanish from the stream, the returned index is provisional
+        under deadline shedding — earlier rejections shift later queued
+        frames down.
+
         Thread-safe against one concurrent drainer; multiple producers
         must serialize among themselves to keep arrival order defined.
         """
@@ -482,11 +493,13 @@ class SessionRunner:
                 raise ValueError(
                     f"out-of-order frame: got index {index}, expected {expected}"
                 )
-            self._pending.append(frame)
+            self._pending.append((frame, deadline))
             self._ingress_index = expected + 1
         return expected
 
-    def drain_pending(self, max_frames: int | None = None) -> list[FrameResult]:
+    def drain_pending(
+        self, max_frames: int | None = None, on_reject=None
+    ) -> list[FrameResult]:
         """Process queued frames in order; return their results.
 
         At most one drainer may run at a time (the serving tier's
@@ -494,23 +507,54 @@ class SessionRunner:
         raises, the frame is pushed back to the queue head before the
         exception propagates, so a retrying drainer resumes at exactly
         the failed frame.
+
+        A queued frame whose deadline (see :meth:`feed_nowait`) has
+        already passed is dropped without feeding — no tracking or
+        mapping state is touched, and later queued frames shift down one
+        index — and ``on_reject(frame)``, when given, is notified per
+        dropped frame (outside the queue lock).  Rejected frames do not
+        count toward ``max_frames``.
         """
         results: list[FrameResult] = []
         while max_frames is None or len(results) < max_frames:
             with self._pending_lock:
                 if not self._pending:
                     break
-                frame = self._pending.popleft()
+                frame, deadline = self._pending.popleft()
+                expired = deadline is not None and time.monotonic() >= deadline
+                if expired:
+                    # The frame leaves the stream before any work ran, so
+                    # the next queued frame takes its index.
+                    self._ingress_index = self._next_index + len(self._pending)
+            if expired:
+                if on_reject is not None:
+                    on_reject(frame)
+                continue
             self._drain_active = True
             try:
                 results.append(self.feed(frame))
             except BaseException:
                 with self._pending_lock:
-                    self._pending.appendleft(frame)
+                    self._pending.appendleft((frame, deadline))
                 raise
             finally:
                 self._drain_active = False
         return results
+
+    def clear_pending(self) -> list:
+        """Drop every queued frame without feeding it; return the frames.
+
+        The load-shedding half of a graceful drain: callers that must
+        stop *now* (a draining server past its drain deadline) shed the
+        queue loudly instead of racing the mapping stage.  No tracking or
+        mapping state is touched, so the session remains checkpointable
+        at its current stream position.
+        """
+        with self._pending_lock:
+            dropped = [frame for frame, _deadline in self._pending]
+            self._pending.clear()
+            self._ingress_index = self._next_index
+        return dropped
 
     def finalize(self) -> SlamResult:
         """Assemble the :class:`SlamResult` accumulated so far.

@@ -472,4 +472,104 @@ def test_serving_counters_surface_as_explicit_zeros():
         "serve.backpressure_waits": 0,
         "serve.sessions_parked": 0,
         "serve.sessions_resumed": 0,
+        "serve.shed_frames": 0,
+        "serve.deadline_rejections": 0,
+        "serve.drain_parked": 0,
     }
+
+
+# ---------------------------------------------------------------------------
+# Concurrent resume-vs-evict across registries sharing one park root
+# ---------------------------------------------------------------------------
+def test_shared_root_concurrent_open_races_cleanly(tmp_path, tiny_sequence):
+    """Two registries opening one parked id at once: exactly one resumes.
+
+    The parking lot serializes whole resume operations per (root, name),
+    so the loser sees "nothing parked" and starts fresh — never a torn
+    read, never a double resume of the same generation.
+    """
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    seeder = SessionRegistry(max_live=2, park_root=tmp_path)
+    seeder.open("cam", factory)
+    with seeder.checkout("cam") as session:
+        for index in range(3):
+            session.feed(tiny_sequence[index], index=index)
+    seeder.park("cam")
+
+    registries = [SessionRegistry(max_live=2, park_root=tmp_path) for _ in range(2)]
+    barrier = threading.Barrier(2)
+    outcomes = [None, None]
+    failures = []
+
+    def racer(slot):
+        try:
+            barrier.wait()
+            outcomes[slot] = registries[slot].open("cam", factory)
+        except BaseException as exc:  # noqa: BLE001 - collected for the assert
+            failures.append(exc)
+
+    threads = [threading.Thread(target=racer, args=(slot,)) for slot in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures
+    resumed = [o for o in outcomes if o.resumed]
+    created = [o for o in outcomes if o.created]
+    assert len(resumed) == 1 and len(created) == 1
+    assert resumed[0].session.next_frame_index == 3
+    assert created[0].session.next_frame_index == 0
+    for registry in registries:
+        registry.shutdown()
+
+
+def test_shared_root_park_resume_hammer_never_corrupts(tmp_path, tiny_sequence):
+    """Interleaved park/resume through a shared root never tears state.
+
+    Resume GCs the parked generations, so while one registry is between
+    resume and re-park the other's ``open`` may legitimately create a
+    *fresh* session (the one-resumes-one-creates split asserted above).
+    Each hammer therefore feeds frame 0 on the create path: every parked
+    generation carries the same 1-frame state whichever writer lands
+    last, and the final assertion stays exact.
+    """
+    factory = _factory("orb", tiny_sequence.intrinsics)
+    seeder = SessionRegistry(max_live=2, park_root=tmp_path)
+    seeder.open("cam", factory)
+    with seeder.checkout("cam") as session:
+        session.feed(tiny_sequence[0], index=0)
+    seeder.park("cam")
+    seeder.close("cam", discard_parked=False)
+
+    failures = []
+
+    def hammer(registry):
+        try:
+            for _ in range(4):
+                opened = registry.open("cam", factory)
+                if opened.created:
+                    with registry.checkout("cam") as session:
+                        session.feed(tiny_sequence[0], index=0)
+                registry.park("cam")
+                registry.close("cam", discard_parked=False)
+        except BaseException as exc:  # noqa: BLE001 - collected for the assert
+            failures.append(exc)
+
+    registries = [SessionRegistry(max_live=2, park_root=tmp_path) for _ in range(2)]
+    threads = [
+        threading.Thread(target=hammer, args=(registry,)) for registry in registries
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures  # in particular, never a CheckpointCorruptError
+    # The survivor of all that churn still resumes cleanly.
+    final = SessionRegistry(max_live=2, park_root=tmp_path)
+    opened = final.open("cam", factory)
+    assert opened.resumed and opened.session.next_frame_index == 1
+    final.shutdown()
+    for registry in registries:
+        registry.shutdown()
